@@ -1,0 +1,120 @@
+// Command chiron-bench regenerates every table and figure of the paper's
+// evaluation section and writes the rendered reports plus CSV series to a
+// results directory. Run with -scale 1.0 for the paper's full episode
+// counts (minutes to hours) or a smaller scale for a quick pass.
+//
+// Usage:
+//
+//	chiron-bench [-scale F] [-out DIR] [-only fig4,tab1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"chiron"
+	"chiron/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "chiron-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chiron-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "episode-count scale factor in (0,1]")
+	out := fs.String("out", "results", "output directory for reports and CSV series")
+	only := fs.String("only", "", "comma-separated artifact ids to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := chiron.Artifacts()
+	if *only != "" {
+		ids = nil
+		for _, tok := range strings.Split(*only, ",") {
+			ids = append(ids, chiron.Artifact(strings.TrimSpace(tok)))
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	var summary strings.Builder
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s: %s (scale %.2f)\n", id, chiron.DescribeArtifact(id), *scale)
+		report, err := runArtifact(id, *scale, *out)
+		if err != nil {
+			return fmt.Errorf("artifact %s: %w", id, err)
+		}
+		fmt.Println(report)
+		fmt.Printf("--- %s done in %v\n\n", id, time.Since(start).Round(time.Second))
+		summary.WriteString(report)
+		summary.WriteString("\n")
+	}
+	path := filepath.Join(*out, "summary.txt")
+	if err := os.WriteFile(path, []byte(summary.String()), 0o644); err != nil {
+		return fmt.Errorf("write summary: %w", err)
+	}
+	fmt.Printf("reports written to %s\n", *out)
+	return nil
+}
+
+// runArtifact executes one artifact, writes its CSV series, and returns
+// the rendered text report.
+func runArtifact(id chiron.Artifact, scale float64, outDir string) (string, error) {
+	if experiment.IsComparison(id) {
+		params, err := experiment.ComparisonDefaults(id)
+		if err != nil {
+			return "", err
+		}
+		cmp, err := experiment.RunComparison(params.Scale(scale))
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV(filepath.Join(outDir, string(id)+".csv"), func(f *os.File) error {
+			return experiment.WriteComparisonCSV(f, cmp)
+		}); err != nil {
+			return "", err
+		}
+		return experiment.RenderComparison(id, cmp), nil
+	}
+	params, err := experiment.ConvergenceDefaults(id)
+	if err != nil {
+		return "", err
+	}
+	conv, err := experiment.RunConvergence(params.Scale(scale))
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV(filepath.Join(outDir, string(id)+".csv"), func(f *os.File) error {
+		return experiment.WriteConvergenceCSV(f, conv)
+	}); err != nil {
+		return "", err
+	}
+	return experiment.RenderConvergence(id, conv), nil
+}
+
+func writeCSV(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if err := write(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

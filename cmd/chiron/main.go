@@ -1,0 +1,222 @@
+// Command chiron trains and evaluates the hierarchical incentive mechanism
+// on a configurable edge-learning system, or runs any of the paper's
+// reproduced experiments by artifact id.
+//
+// Usage:
+//
+//	chiron train   [-nodes N] [-budget η] [-dataset mnist|fashion|cifar]
+//	               [-episodes E] [-seed S] [-real] [-baseline chiron|drl|greedy]
+//	chiron run     [-artifact fig3|fig4|fig5|fig6|fig7a|fig7b|tab1] [-scale F]
+//	chiron list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chiron"
+	"chiron/internal/core"
+	"chiron/internal/mechanism"
+	"chiron/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "chiron: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: chiron <train|run|list> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return cmdTrain(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "list":
+		return cmdList()
+	default:
+		return fmt.Errorf("unknown subcommand %q (want train, run, or list)", args[0])
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 5, "number of edge nodes")
+	budget := fs.Float64("budget", 300, "total incentive budget η")
+	datasetName := fs.String("dataset", "mnist", "learning task: mnist, fashion, or cifar")
+	episodes := fs.Int("episodes", 500, "training episodes")
+	evalEpisodes := fs.Int("eval", 5, "deterministic evaluation episodes after training")
+	seed := fs.Int64("seed", 7, "random seed")
+	real := fs.Bool("real", false, "measure accuracy with real FedAvg neural training instead of the surrogate curve")
+	baseline := fs.String("baseline", "chiron", "mechanism to train: chiron, drl, or greedy")
+	logEvery := fs.Int("log-every", 50, "print progress every this many episodes (0 disables)")
+	save := fs.String("save", "", "write the trained Chiron agent checkpoint to this path (chiron baseline only)")
+	load := fs.String("load", "", "restore a Chiron agent checkpoint before training/evaluation")
+	tracePath := fs.String("trace", "", "write a JSONL training trace (round + episode records) to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, err := parseDataset(*datasetName)
+	if err != nil {
+		return err
+	}
+	sys, err := chiron.NewSystem(chiron.SystemConfig{
+		Nodes:        *nodes,
+		Dataset:      ds,
+		Budget:       *budget,
+		Seed:         *seed,
+		RealTraining: *real,
+	})
+	if err != nil {
+		return err
+	}
+
+	var m chiron.Mechanism
+	switch *baseline {
+	case "chiron":
+		m = sys.Agent()
+	case "drl":
+		if m, err = sys.NewBaselineDRL(); err != nil {
+			return err
+		}
+	case "greedy":
+		if m, err = sys.NewBaselineGreedy(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown baseline %q (want chiron, drl, or greedy)", *baseline)
+	}
+
+	if *load != "" {
+		agent, ok := m.(*core.Chiron)
+		if !ok {
+			return fmt.Errorf("-load only applies to the chiron mechanism")
+		}
+		if err := agent.LoadCheckpoint(*load); err != nil {
+			return err
+		}
+		fmt.Printf("restored checkpoint from %s (episode %d)\n", *load, agent.Episode())
+	}
+	fmt.Printf("training %s: %d nodes, dataset %s, budget %.0f, %d episodes\n",
+		m.Name(), *nodes, ds, *budget, *episodes)
+	var tw *trace.Writer
+	if *tracePath != "" {
+		if tw, err = trace.Create(*tracePath); err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := tw.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "chiron: %v\n", cerr)
+			}
+		}()
+	}
+	count := 0
+	callback := func(r chiron.EpisodeResult) {
+		count++
+		if *logEvery > 0 && count%*logEvery == 0 {
+			fmt.Printf("  episode %4d: rounds=%3d accuracy=%.3f reward=%8.1f time-eff=%5.1f%%\n",
+				r.Episode, r.Rounds, r.FinalAccuracy, r.ExteriorReturn, 100*r.TimeEfficiency)
+		}
+		if tw != nil {
+			// The ledger still holds this episode's rounds until the next
+			// Reset, so the full round history is recordable here.
+			rounds := m.Env().Ledger().Rounds()
+			for i := range rounds {
+				if err := tw.WriteRound(r.Episode, &rounds[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "chiron: %v\n", err)
+					return
+				}
+			}
+			if err := tw.WriteEpisode(r); err != nil {
+				fmt.Fprintf(os.Stderr, "chiron: %v\n", err)
+			}
+		}
+	}
+	type trainer interface {
+		Train(episodes int, cb func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error)
+	}
+	tr, ok := m.(trainer)
+	if !ok {
+		return fmt.Errorf("mechanism %s is not trainable", m.Name())
+	}
+	if _, err := tr.Train(*episodes, callback); err != nil {
+		return err
+	}
+	res, err := core.EvaluateMechanism(m, *evalEpisodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nevaluation over %d deterministic episodes:\n", *evalEpisodes)
+	fmt.Printf("  final accuracy : %.3f\n", res.FinalAccuracy)
+	fmt.Printf("  rounds         : %d\n", res.Rounds)
+	fmt.Printf("  time efficiency: %.1f%%\n", 100*res.TimeEfficiency)
+	fmt.Printf("  budget spent   : %.1f / %.0f\n", res.BudgetSpent, *budget)
+	fmt.Printf("  server utility : %.1f\n", res.ServerUtility)
+	if *save != "" {
+		agent, ok := m.(*core.Chiron)
+		if !ok {
+			return fmt.Errorf("-save only applies to the chiron mechanism")
+		}
+		if err := agent.SaveCheckpoint(*save); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", *save)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	artifact := fs.String("artifact", "", "paper artifact id (fig3, fig4, fig5, fig6, fig7a, fig7b, tab1) or 'all'")
+	scale := fs.Float64("scale", 1.0, "episode-count scale factor in (0,1]; 1.0 reproduces the paper's full runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *artifact == "" {
+		return fmt.Errorf("-artifact is required (use 'chiron list' to see ids)")
+	}
+	ids := []chiron.Artifact{chiron.Artifact(*artifact)}
+	if *artifact == "all" {
+		ids = chiron.Artifacts()
+	}
+	for _, id := range ids {
+		report, err := chiron.RunArtifact(id, *scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("reproduced paper artifacts:")
+	for _, a := range chiron.Artifacts() {
+		fmt.Printf("  %-10s %s\n", a, chiron.DescribeArtifact(a))
+	}
+	fmt.Println("ablation studies:")
+	for _, a := range chiron.ExtraArtifacts() {
+		fmt.Printf("  %-10s %s\n", a, chiron.DescribeArtifact(a))
+	}
+	return nil
+}
+
+func parseDataset(name string) (chiron.Dataset, error) {
+	switch strings.ToLower(name) {
+	case "mnist":
+		return chiron.DatasetMNIST, nil
+	case "fashion", "fashion-mnist", "fmnist":
+		return chiron.DatasetFashionMNIST, nil
+	case "cifar", "cifar10", "cifar-10":
+		return chiron.DatasetCIFAR10, nil
+	default:
+		return 0, fmt.Errorf("unknown dataset %q (want mnist, fashion, or cifar)", name)
+	}
+}

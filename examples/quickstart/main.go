@@ -1,0 +1,96 @@
+// Quickstart: train Chiron on the paper's small-scale setting — five edge
+// nodes, the MNIST-difficulty task, budget η=300 — then evaluate the
+// learned pricing policy deterministically and compare it against both
+// comparison mechanisms from the paper.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"chiron"
+	"chiron/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := chiron.NewSystem(chiron.SystemConfig{
+		Nodes:   5,
+		Dataset: chiron.DatasetMNIST,
+		Budget:  300,
+		Seed:    7,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Train the hierarchical agent. 200 episodes is enough to see the
+	// pacing behaviour emerge; the paper trains 500.
+	const episodes = 200
+	fmt.Printf("training Chiron for %d episodes on %d nodes (budget %.0f)...\n",
+		episodes, sys.Env().NumNodes(), sys.Env().Ledger().Budget())
+	_, err = sys.Train(episodes, func(r chiron.EpisodeResult) {
+		if r.Episode%40 == 0 {
+			fmt.Printf("  episode %3d: rounds=%3d accuracy=%.3f reward=%8.1f\n",
+				r.Episode, r.Rounds, r.FinalAccuracy, r.ExteriorReturn)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Evaluate all three mechanisms under the identical budget.
+	chironRes, err := sys.Evaluate(3)
+	if err != nil {
+		return err
+	}
+	drl, err := sys.NewBaselineDRL()
+	if err != nil {
+		return err
+	}
+	if _, err := drl.Train(episodes, nil); err != nil {
+		return err
+	}
+	drlRes, err := core.EvaluateMechanism(drl, 3)
+	if err != nil {
+		return err
+	}
+	greedy, err := sys.NewBaselineGreedy()
+	if err != nil {
+		return err
+	}
+	if _, err := greedy.Train(episodes, nil); err != nil {
+		return err
+	}
+	greedyRes, err := core.EvaluateMechanism(greedy, 3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nsame budget, three mechanisms:")
+	fmt.Printf("%-12s %10s %8s %10s %10s\n", "mechanism", "accuracy", "rounds", "time-eff", "utility")
+	for _, row := range []struct {
+		name string
+		r    chiron.EpisodeResult
+	}{
+		{"Chiron", chironRes},
+		{"DRL-based", drlRes},
+		{"Greedy", greedyRes},
+	} {
+		fmt.Printf("%-12s %10.3f %8d %9.1f%% %10.1f\n",
+			row.name, row.r.FinalAccuracy, row.r.Rounds, 100*row.r.TimeEfficiency, row.r.ServerUtility)
+	}
+	fmt.Println("\nChiron paces the budget across more training rounds, ending with the")
+	fmt.Println("best model under the same total payment (the paper's Fig. 4 behaviour).")
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package baselines implements the two comparison mechanisms of Sec. VI:
+// the single-agent DRL-based approach of Zhan et al. (INFOCOM'20) and the
+// replay-buffer Greedy strategy, plus a static Uniform reference used by
+// ablation benchmarks.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/edgeenv"
+	"chiron/internal/mechanism"
+	"chiron/internal/rl"
+)
+
+// RewardMode selects the DRL-based baseline's myopic objective.
+type RewardMode int
+
+// The two single-round objectives.
+const (
+	// RewardServerRound scores each round with the same per-round server
+	// reward Chiron's exterior agent receives (λΔA − w·T_k). This is the
+	// paper's comparison methodology: identical optimization goal,
+	// single-agent architecture, no budget awareness.
+	RewardServerRound RewardMode = iota + 1
+	// RewardTimeEnergy is the original objective of [8]: minimize the
+	// round's learning time and compensated node energy, with no
+	// model-accuracy term. Kept as an ablation.
+	RewardTimeEnergy
+)
+
+// DRLBasedConfig parameterizes the single-agent baseline.
+type DRLBasedConfig struct {
+	// PPO holds the agent's hyperparameters (the paper gives it the same
+	// standard PPO machinery as Chiron).
+	PPO rl.PPOConfig
+	// Mode selects the myopic objective (default RewardServerRound).
+	Mode RewardMode
+	// EnergyWeight is κ in the RewardTimeEnergy objective
+	// r_k = −T_k − κ·ΣE_{i,k}.
+	EnergyWeight float64
+	// RewardScale rescales rewards to O(1) before they enter the replay
+	// buffer (learner conditioning only).
+	RewardScale float64
+	// Seed drives the agent's stochasticity.
+	Seed int64
+}
+
+// DefaultDRLBasedConfig mirrors the paper's baseline setup. The discount
+// factor is zero: the original work "only derive[s] the optimal solution of
+// single round", so its agent optimizes each round's reward in isolation
+// with no credit flowing across rounds.
+func DefaultDRLBasedConfig() DRLBasedConfig {
+	cfg := DRLBasedConfig{PPO: rl.DefaultPPOConfig(), Mode: RewardServerRound, EnergyWeight: 0.1, RewardScale: 0.01, Seed: 1}
+	cfg.PPO.Gamma = 0
+	return cfg
+}
+
+// DRLBased is the state-of-the-art comparison from [8]: one PPO agent
+// directly outputs the full per-node price vector each round and optimizes
+// the single-round (myopic) objective. Its state omits the remaining
+// budget — the defining difference from Chiron's long-term exterior agent —
+// and its reward carries no model-accuracy term.
+type DRLBased struct {
+	cfg     DRLBasedConfig
+	env     *edgeenv.Env
+	agent   *rl.PPO
+	buf     *rl.Buffer
+	rng     *rand.Rand
+	episode int
+}
+
+var _ mechanism.Mechanism = (*DRLBased)(nil)
+
+// NewDRLBased builds the baseline bound to env.
+func NewDRLBased(env *edgeenv.Env, cfg DRLBasedConfig) (*DRLBased, error) {
+	if err := cfg.PPO.Validate(); err != nil {
+		return nil, fmt.Errorf("baselines: drl-based: %w", err)
+	}
+	if cfg.EnergyWeight < 0 {
+		return nil, fmt.Errorf("baselines: drl-based energy weight %v, want >= 0", cfg.EnergyWeight)
+	}
+	if cfg.RewardScale <= 0 {
+		return nil, fmt.Errorf("baselines: drl-based reward scale %v, want > 0", cfg.RewardScale)
+	}
+	if cfg.Mode != RewardServerRound && cfg.Mode != RewardTimeEnergy {
+		return nil, fmt.Errorf("baselines: drl-based reward mode %d", cfg.Mode)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	agent, err := rl.NewPPO(rng, myopicStateDim(env), env.NumNodes(), cfg.PPO)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: drl-based agent: %w", err)
+	}
+	return &DRLBased{cfg: cfg, env: env, agent: agent, buf: &rl.Buffer{}, rng: rng}, nil
+}
+
+// Name implements mechanism.Mechanism.
+func (d *DRLBased) Name() string { return "DRL-based" }
+
+// Env implements mechanism.Mechanism.
+func (d *DRLBased) Env() *edgeenv.Env { return d.env }
+
+// Agent exposes the underlying PPO learner.
+func (d *DRLBased) Agent() *rl.PPO { return d.agent }
+
+// myopicStateDim is the exterior state minus the two long-term entries
+// (remaining budget and round index).
+func myopicStateDim(env *edgeenv.Env) int { return env.StateDim() - 2 }
+
+// myopicState truncates the environment state to the history window only.
+func (d *DRLBased) myopicState() []float64 {
+	full := d.env.ExteriorState()
+	return full[:len(full)-2]
+}
+
+// priceCapPerNode bounds each node's price so the action square covers the
+// same feasible region as Chiron's total-price simplex.
+func (d *DRLBased) priceCapPerNode() float64 {
+	return d.env.MaxTotalPrice() / float64(d.env.NumNodes())
+}
+
+// RunEpisode implements mechanism.Mechanism.
+func (d *DRLBased) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
+	if _, err := d.env.Reset(); err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	state := d.myopicState()
+	priceCap := d.priceCapPerNode()
+	ext := mechanism.NewReturns()
+	var innReturn float64
+	for !d.env.Done() {
+		var act []float64
+		var lp float64
+		var err error
+		if train {
+			act, lp, err = d.agent.Act(d.rng, state)
+		} else {
+			act, err = d.agent.ActDeterministic(state)
+		}
+		if err != nil {
+			return mechanism.EpisodeResult{}, fmt.Errorf("baselines: drl-based act: %w", err)
+		}
+		prices := rl.SquashVec(act, 0, priceCap)
+		res, err := d.env.Step(prices)
+		if err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+		next := d.myopicState()
+		if res.Done && res.Round.Participants == 0 {
+			// Discarded budget-overrun round: the previous committed round
+			// was terminal.
+			if train {
+				d.buf.MarkLastDone()
+			}
+			break
+		}
+		ext.Add(res.ExteriorReward)
+		innReturn += res.InnerReward
+		if train {
+			d.buf.Add(rl.Transition{
+				State:     state,
+				Action:    act,
+				Reward:    d.myopicReward(res) * d.cfg.RewardScale,
+				NextState: next,
+				Done:      res.Done,
+				LogProb:   lp,
+			})
+		}
+		state = next
+		if res.Done {
+			break
+		}
+	}
+	d.episode++
+	result := mechanism.Summarize(d.env, d.episode, ext, innReturn)
+	if train && d.buf.Len() > 0 {
+		if _, err := d.agent.Update(d.buf); err != nil {
+			return mechanism.EpisodeResult{}, fmt.Errorf("baselines: drl-based update: %w", err)
+		}
+		d.buf.Clear()
+		d.agent.EndEpisode()
+	}
+	return result, nil
+}
+
+// myopicReward scores one round under the configured single-round
+// objective; neither mode carries any view of the remaining budget.
+func (d *DRLBased) myopicReward(res edgeenv.StepResult) float64 {
+	if d.cfg.Mode == RewardServerRound {
+		return res.ExteriorReward
+	}
+	var energy float64
+	for i, node := range d.env.Nodes() {
+		if f := res.Round.Freqs[i]; f > 0 {
+			energy += node.Energy(f)
+		}
+	}
+	return -res.Round.RoundTime() - d.cfg.EnergyWeight*energy
+}
+
+// Train runs training episodes, mirroring core.Chiron.Train.
+func (d *DRLBased) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("baselines: train %d episodes, want > 0", episodes)
+	}
+	results := make([]mechanism.EpisodeResult, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		res, err := d.RunEpisode(true)
+		if err != nil {
+			return results, fmt.Errorf("baselines: drl-based episode %d: %w", ep+1, err)
+		}
+		results = append(results, res)
+		if callback != nil {
+			callback(res)
+		}
+	}
+	return results, nil
+}

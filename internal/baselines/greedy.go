@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/edgeenv"
+	"chiron/internal/mat"
+	"chiron/internal/mechanism"
+)
+
+// GreedyConfig parameterizes the Greedy baseline.
+type GreedyConfig struct {
+	// WarmupActions seeds the replay buffer with random price vectors.
+	WarmupActions int
+	// Epsilon is the exploration probability: with probability Epsilon a
+	// new random action is tried instead of the best known one.
+	Epsilon float64
+	// Seed drives the baseline's stochasticity.
+	Seed int64
+}
+
+// DefaultGreedyConfig mirrors the paper's description: a random warmup
+// buffer, then exploit-with-high-probability.
+func DefaultGreedyConfig() GreedyConfig {
+	return GreedyConfig{WarmupActions: 32, Epsilon: 0.1, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c GreedyConfig) Validate() error {
+	if c.WarmupActions <= 0 {
+		return fmt.Errorf("baselines: greedy warmup %d, want > 0", c.WarmupActions)
+	}
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("baselines: greedy epsilon %v outside [0,1]", c.Epsilon)
+	}
+	return nil
+}
+
+// scoredAction is one replay-buffer entry.
+type scoredAction struct {
+	prices []float64
+	reward float64
+	tried  bool
+}
+
+// Greedy is the paper's second baseline: it fills a replay buffer with
+// random price vectors, scores them by observed per-round reward, and
+// replays the best-scoring action with probability 1−ε while exploring new
+// random actions with probability ε. It has no learning-time structure and
+// no budget pacing.
+type Greedy struct {
+	cfg     GreedyConfig
+	env     *edgeenv.Env
+	rng     *rand.Rand
+	buffer  []scoredAction
+	episode int
+}
+
+var _ mechanism.Mechanism = (*Greedy)(nil)
+
+// NewGreedy builds the baseline bound to env and pre-fills the replay
+// buffer with random actions.
+func NewGreedy(env *edgeenv.Env, cfg GreedyConfig) (*Greedy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Greedy{cfg: cfg, env: env, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.WarmupActions; i++ {
+		g.buffer = append(g.buffer, scoredAction{prices: env.RandomPrices(g.rng)})
+	}
+	return g, nil
+}
+
+// Name implements mechanism.Mechanism.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// Env implements mechanism.Mechanism.
+func (g *Greedy) Env() *edgeenv.Env { return g.env }
+
+// BufferSize reports the replay-buffer length (grows with exploration).
+func (g *Greedy) BufferSize() int { return len(g.buffer) }
+
+// bestIndex returns the index of the highest-reward tried action, or a
+// random untried one when nothing has been scored yet.
+func (g *Greedy) bestIndex() int {
+	best := -1
+	for i := range g.buffer {
+		if !g.buffer[i].tried {
+			continue
+		}
+		if best == -1 || g.buffer[i].reward > g.buffer[best].reward {
+			best = i
+		}
+	}
+	if best == -1 {
+		return g.rng.Intn(len(g.buffer))
+	}
+	return best
+}
+
+// RunEpisode implements mechanism.Mechanism. With train=true the buffer
+// scores update and ε-exploration adds new actions; with train=false the
+// best known action is replayed every round.
+func (g *Greedy) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
+	if _, err := g.env.Reset(); err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	ext := mechanism.NewReturns()
+	var innReturn float64
+	for !g.env.Done() {
+		idx := g.bestIndex()
+		if train && g.rng.Float64() < g.cfg.Epsilon {
+			g.buffer = append(g.buffer, scoredAction{prices: g.env.RandomPrices(g.rng)})
+			idx = len(g.buffer) - 1
+		}
+		prices := mat.CloneVec(g.buffer[idx].prices)
+		res, err := g.env.Step(prices)
+		if err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+		if res.Done && res.Round.Participants == 0 {
+			break
+		}
+		ext.Add(res.ExteriorReward)
+		innReturn += res.InnerReward
+		if train {
+			entry := &g.buffer[idx]
+			if !entry.tried {
+				entry.tried = true
+				entry.reward = res.ExteriorReward
+			} else {
+				// Exponential moving average keeps scores current as the
+				// accuracy curve's marginal returns shrink.
+				entry.reward = 0.9*entry.reward + 0.1*res.ExteriorReward
+			}
+		}
+		if res.Done {
+			break
+		}
+	}
+	g.episode++
+	return mechanism.Summarize(g.env, g.episode, ext, innReturn), nil
+}
+
+// Train runs training episodes, mirroring core.Chiron.Train.
+func (g *Greedy) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("baselines: train %d episodes, want > 0", episodes)
+	}
+	results := make([]mechanism.EpisodeResult, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		res, err := g.RunEpisode(true)
+		if err != nil {
+			return results, fmt.Errorf("baselines: greedy episode %d: %w", ep+1, err)
+		}
+		results = append(results, res)
+		if callback != nil {
+			callback(res)
+		}
+	}
+	return results, nil
+}

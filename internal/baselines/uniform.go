@@ -1,0 +1,67 @@
+package baselines
+
+import (
+	"fmt"
+
+	"chiron/internal/edgeenv"
+	"chiron/internal/mechanism"
+)
+
+// Uniform is a static reference mechanism: every round it posts the same
+// total price, split equally across nodes. It is not a paper baseline but
+// serves as the ablation floor — any learning mechanism should beat it —
+// and as a deterministic fixture for tests.
+type Uniform struct {
+	env      *edgeenv.Env
+	fraction float64
+	episode  int
+}
+
+var _ mechanism.Mechanism = (*Uniform)(nil)
+
+// NewUniform builds the reference mechanism. fraction ∈ (0,1] scales the
+// per-round total price as a share of the environment's MaxTotalPrice.
+func NewUniform(env *edgeenv.Env, fraction float64) (*Uniform, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("baselines: uniform fraction %v outside (0,1]", fraction)
+	}
+	return &Uniform{env: env, fraction: fraction}, nil
+}
+
+// Name implements mechanism.Mechanism.
+func (u *Uniform) Name() string { return "Uniform" }
+
+// Env implements mechanism.Mechanism.
+func (u *Uniform) Env() *edgeenv.Env { return u.env }
+
+// RunEpisode implements mechanism.Mechanism. The train flag is ignored —
+// the mechanism is stateless.
+func (u *Uniform) RunEpisode(bool) (mechanism.EpisodeResult, error) {
+	if _, err := u.env.Reset(); err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	n := u.env.NumNodes()
+	per := u.fraction * u.env.MaxTotalPrice() / float64(n)
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = per
+	}
+	ext := mechanism.NewReturns()
+	var innReturn float64
+	for !u.env.Done() {
+		res, err := u.env.Step(prices)
+		if err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+		if res.Done && res.Round.Participants == 0 {
+			break
+		}
+		ext.Add(res.ExteriorReward)
+		innReturn += res.InnerReward
+		if res.Done {
+			break
+		}
+	}
+	u.episode++
+	return mechanism.Summarize(u.env, u.episode, ext, innReturn), nil
+}

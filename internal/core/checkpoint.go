@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"chiron/internal/rl"
+)
+
+// Checkpoint is the serializable training state of a hierarchical agent:
+// both layers' snapshots plus the episode counter.
+type Checkpoint struct {
+	Exterior *rl.Snapshot `json:"exterior"`
+	Inner    *rl.Snapshot `json:"inner"`
+	Episode  int          `json:"episode"`
+	// Nodes and StateDim pin the environment shape the checkpoint was
+	// trained against, so a mismatched restore fails loudly instead of
+	// silently loading weights into the wrong architecture.
+	Nodes    int `json:"nodes"`
+	StateDim int `json:"state_dim"`
+}
+
+// Checkpoint captures the agent's current training state.
+func (c *Chiron) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		Exterior: c.exterior.Snapshot(),
+		Inner:    c.inner.Snapshot(),
+		Episode:  c.episode,
+		Nodes:    c.env.NumNodes(),
+		StateDim: c.env.StateDim(),
+	}
+}
+
+// Restore overwrites the agent's training state from a checkpoint taken on
+// an identically shaped system.
+func (c *Chiron) Restore(ck *Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("core: restore from nil checkpoint")
+	}
+	if ck.Nodes != c.env.NumNodes() || ck.StateDim != c.env.StateDim() {
+		return fmt.Errorf("core: checkpoint for %d nodes / state dim %d, environment has %d / %d",
+			ck.Nodes, ck.StateDim, c.env.NumNodes(), c.env.StateDim())
+	}
+	if err := c.exterior.Restore(ck.Exterior); err != nil {
+		return fmt.Errorf("core: restore exterior: %w", err)
+	}
+	if err := c.inner.Restore(ck.Inner); err != nil {
+		return fmt.Errorf("core: restore inner: %w", err)
+	}
+	c.episode = ck.Episode
+	return nil
+}
+
+// SaveCheckpoint writes the agent's training state as JSON to path.
+func (c *Chiron) SaveCheckpoint(path string) error {
+	data, err := json.Marshal(c.Checkpoint())
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores the agent's training state from a JSON file
+// written by SaveCheckpoint.
+func (c *Chiron) LoadCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("core: parse checkpoint: %w", err)
+	}
+	return c.Restore(&ck)
+}

@@ -1,0 +1,7 @@
+package dataset
+
+import "math"
+
+func powFloat(x, y float64) float64 { return math.Pow(x, y) }
+func sqrtFloat(x float64) float64   { return math.Sqrt(x) }
+func logFloat(x float64) float64    { return math.Log(x) }

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkPartitionInvariants verifies the contract every partitioner must
+// satisfy: exact cover, no duplicates, no empty nodes.
+func checkPartitionInvariants(t *testing.T, d *Dataset, parts [][]int, n int) {
+	t.Helper()
+	if len(parts) != n {
+		t.Fatalf("got %d parts, want %d", len(parts), n)
+	}
+	seen := make(map[int]bool, d.Len())
+	for node, idx := range parts {
+		if len(idx) == 0 {
+			t.Fatalf("node %d received no samples", node)
+		}
+		for _, i := range idx {
+			if i < 0 || i >= d.Len() {
+				t.Fatalf("node %d got out-of-range index %d", node, i)
+			}
+			if seen[i] {
+				t.Fatalf("sample %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != d.Len() {
+		t.Fatalf("%d samples assigned, want %d", len(seen), d.Len())
+	}
+}
+
+func TestIIDPartition(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(103), 1)
+	parts, err := IID{}.Partition(rand.New(rand.NewSource(2)), d, 5)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	checkPartitionInvariants(t, d, parts, 5)
+	// IID split should be nearly balanced.
+	for node, idx := range parts {
+		if len(idx) < 20 || len(idx) > 21 {
+			t.Fatalf("node %d has %d samples, want 20-21", node, len(idx))
+		}
+	}
+}
+
+func TestIIDPartitionErrors(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(3), 1)
+	if _, err := (IID{}).Partition(rand.New(rand.NewSource(1)), d, 0); err == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	if _, err := (IID{}).Partition(rand.New(rand.NewSource(1)), d, 10); err == nil {
+		t.Fatal("accepted more nodes than samples")
+	}
+}
+
+func TestDirichletPartition(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(600), 3)
+	parts, err := Dirichlet{Alpha: 0.5}.Partition(rand.New(rand.NewSource(4)), d, 8)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	checkPartitionInvariants(t, d, parts, 8)
+}
+
+func TestDirichletSkewIncreasesWithSmallAlpha(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(3000), 5)
+	skew := func(alpha float64) float64 {
+		parts, err := Dirichlet{Alpha: alpha}.Partition(rand.New(rand.NewSource(6)), d, 10)
+		if err != nil {
+			t.Fatalf("Partition(%v): %v", alpha, err)
+		}
+		// Mean per-node label-distribution distance from uniform.
+		var total float64
+		for _, idx := range parts {
+			counts := make([]float64, d.Classes)
+			for _, i := range idx {
+				counts[d.Y[i]]++
+			}
+			var dist float64
+			for _, c := range counts {
+				p := c / float64(len(idx))
+				dist += math.Abs(p - 1.0/float64(d.Classes))
+			}
+			total += dist
+		}
+		return total / float64(len(parts))
+	}
+	lowAlpha := skew(0.1)
+	highAlpha := skew(100)
+	if lowAlpha <= highAlpha {
+		t.Fatalf("Dirichlet skew not decreasing in alpha: %v (α=0.1) <= %v (α=100)", lowAlpha, highAlpha)
+	}
+}
+
+func TestDirichletRejectsBadAlpha(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(100), 7)
+	if _, err := (Dirichlet{Alpha: 0}).Partition(rand.New(rand.NewSource(1)), d, 4); err == nil {
+		t.Fatal("accepted alpha 0")
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(400), 8)
+	parts, err := Shards{ShardsPerNode: 2}.Partition(rand.New(rand.NewSource(9)), d, 10)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	checkPartitionInvariants(t, d, parts, 10)
+	// Shard splits are pathologically non-IID: most nodes should hold few
+	// distinct labels.
+	var fewLabelNodes int
+	for _, idx := range parts {
+		labels := make(map[int]bool)
+		for _, i := range idx {
+			labels[d.Y[i]] = true
+		}
+		if len(labels) <= 4 {
+			fewLabelNodes++
+		}
+	}
+	if fewLabelNodes < 5 {
+		t.Fatalf("only %d/10 nodes are label-concentrated; shards split looks IID", fewLabelNodes)
+	}
+}
+
+func TestShardsDefaultsAndErrors(t *testing.T) {
+	d := mustGenerate(t, SynthMNIST(50), 10)
+	// Default ShardsPerNode (2) with 5 nodes needs 10 shards of 5 samples.
+	parts, err := Shards{}.Partition(rand.New(rand.NewSource(11)), d, 5)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	checkPartitionInvariants(t, d, parts, 5)
+	if _, err := (Shards{ShardsPerNode: 100}).Partition(rand.New(rand.NewSource(11)), d, 5); err == nil {
+		t.Fatal("accepted more shards than samples")
+	}
+}
+
+// Property: the partition invariants hold for random sizes across all
+// partitioners.
+func TestPartitionInvariantsProperty(t *testing.T) {
+	partitioners := []Partitioner{IID{}, Dirichlet{Alpha: 0.5}, Shards{ShardsPerNode: 2}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		samples := n*20 + r.Intn(100)
+		d, err := Generate(rand.New(rand.NewSource(seed+1)), SynthMNIST(samples))
+		if err != nil {
+			return false
+		}
+		for _, p := range partitioners {
+			parts, err := p.Partition(r, d, n)
+			if err != nil {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, idx := range parts {
+				if len(idx) == 0 {
+					return false
+				}
+				for _, i := range idx {
+					if seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+			}
+			if len(seen) != d.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaSampleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, shape := range []float64{0.3, 1, 2.5, 10} {
+		var sum float64
+		const n = 4000
+		for i := 0; i < n; i++ {
+			v := gammaSample(rng, shape)
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("gammaSample(%v) = %v", shape, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		// Gamma(shape,1) has mean == shape; allow generous sampling slack.
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Fatalf("gammaSample(%v) mean %v, want ≈%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestDirichletSampleSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		w := dirichletSample(rng, 0.5, 7)
+		var sum float64
+		for _, v := range w {
+			if v < 0 {
+				t.Fatalf("negative weight %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum to %v", sum)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiron/internal/mat"
+)
+
+// SynthSpec parameterizes a synthetic image-classification task. Samples of
+// class y are rendered as a class prototype pattern plus per-sample
+// geometric jitter and pixel noise; harder presets overlap prototypes and
+// flip labels, lowering the achievable accuracy the way CIFAR-10 does
+// relative to MNIST.
+type SynthSpec struct {
+	Name       string
+	Channels   int
+	Side       int // images are Side×Side per channel
+	Classes    int
+	Samples    int
+	Noise      float64 // stddev of additive pixel noise
+	Jitter     int     // max translation of the prototype, in pixels
+	Overlap    float64 // 0 = disjoint prototypes, 1 = heavily shared structure
+	LabelNoise float64 // fraction of labels flipped uniformly at random
+}
+
+// Dim reports the flattened feature dimensionality.
+func (s SynthSpec) Dim() int { return s.Channels * s.Side * s.Side }
+
+// Validate reports whether the spec is well formed.
+func (s SynthSpec) Validate() error {
+	switch {
+	case s.Channels <= 0:
+		return fmt.Errorf("dataset: spec %q: channels %d", s.Name, s.Channels)
+	case s.Side < 4:
+		return fmt.Errorf("dataset: spec %q: side %d, want >= 4", s.Name, s.Side)
+	case s.Classes < 2:
+		return fmt.Errorf("dataset: spec %q: classes %d, want >= 2", s.Name, s.Classes)
+	case s.Samples <= 0:
+		return fmt.Errorf("dataset: spec %q: samples %d, want > 0", s.Name, s.Samples)
+	case s.Noise < 0 || s.Overlap < 0 || s.Overlap > 1 || s.LabelNoise < 0 || s.LabelNoise > 1:
+		return fmt.Errorf("dataset: spec %q: invalid noise/overlap parameters", s.Name)
+	case s.Jitter < 0 || s.Jitter >= s.Side/2:
+		return fmt.Errorf("dataset: spec %q: jitter %d out of range", s.Name, s.Jitter)
+	}
+	return nil
+}
+
+// SynthMNIST mirrors the MNIST task at reduced resolution: a clean,
+// well-separated 10-class problem that a small model learns quickly.
+func SynthMNIST(samples int) SynthSpec {
+	return SynthSpec{
+		Name: "synth-mnist", Channels: 1, Side: 12, Classes: 10,
+		Samples: samples, Noise: 0.25, Jitter: 1, Overlap: 0.05, LabelNoise: 0,
+	}
+}
+
+// SynthFashion mirrors Fashion-MNIST: same shape as MNIST but with more
+// intra-class variation and inter-class overlap, capping accuracy lower.
+func SynthFashion(samples int) SynthSpec {
+	return SynthSpec{
+		Name: "synth-fashion", Channels: 1, Side: 12, Classes: 10,
+		Samples: samples, Noise: 0.45, Jitter: 2, Overlap: 0.25, LabelNoise: 0.02,
+	}
+}
+
+// SynthCIFAR mirrors CIFAR-10: three channels, heavy noise and overlap, a
+// markedly harder problem that converges more slowly and plateaus lower.
+func SynthCIFAR(samples int) SynthSpec {
+	return SynthSpec{
+		Name: "synth-cifar", Channels: 3, Side: 12, Classes: 10,
+		Samples: samples, Noise: 0.7, Jitter: 2, Overlap: 0.5, LabelNoise: 0.05,
+	}
+}
+
+// Generate renders a dataset from the spec using rng. Class prototypes are
+// deterministic functions of the class index and the spec's Overlap, so
+// two calls with independent RNGs produce different samples of the same
+// underlying task.
+func Generate(rng *rand.Rand, spec SynthSpec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	protos := prototypes(spec)
+	d := &Dataset{
+		X:       mat.New(spec.Samples, spec.Dim()),
+		Y:       make([]int, spec.Samples),
+		Classes: spec.Classes,
+	}
+	for i := 0; i < spec.Samples; i++ {
+		class := rng.Intn(spec.Classes)
+		renderSample(rng, spec, protos[class], d.X.Row(i))
+		if spec.LabelNoise > 0 && rng.Float64() < spec.LabelNoise {
+			class = rng.Intn(spec.Classes)
+		}
+		d.Y[i] = class
+	}
+	return d, nil
+}
+
+// prototypes builds one Side×Side×Channels pattern per class. Each class
+// pattern is a superposition of oriented sinusoid gratings whose phase and
+// frequency are class-specific; Overlap mixes in a shared component so
+// classes become harder to tell apart.
+func prototypes(spec SynthSpec) [][]float64 {
+	out := make([][]float64, spec.Classes)
+	shared := grating(spec, 1.0, 0.5, 0.0)
+	for c := 0; c < spec.Classes; c++ {
+		angle := math.Pi * float64(c) / float64(spec.Classes)
+		freq := 1.0 + float64(c%5)*0.5
+		phase := float64(c) * 0.7
+		own := grating(spec, freq, angle, phase)
+		p := make([]float64, spec.Dim())
+		for i := range p {
+			p[i] = (1-spec.Overlap)*own[i] + spec.Overlap*shared[i]
+		}
+		out[c] = p
+	}
+	return out
+}
+
+// grating renders an oriented sinusoid across all channels, phase-shifted
+// per channel so multi-channel specs carry channel structure.
+func grating(spec SynthSpec, freq, angle, phase float64) []float64 {
+	p := make([]float64, spec.Dim())
+	kx := math.Cos(angle) * freq * 2 * math.Pi / float64(spec.Side)
+	ky := math.Sin(angle) * freq * 2 * math.Pi / float64(spec.Side)
+	for ch := 0; ch < spec.Channels; ch++ {
+		chPhase := phase + float64(ch)*0.9
+		base := ch * spec.Side * spec.Side
+		for y := 0; y < spec.Side; y++ {
+			for x := 0; x < spec.Side; x++ {
+				p[base+y*spec.Side+x] = math.Sin(kx*float64(x) + ky*float64(y) + chPhase)
+			}
+		}
+	}
+	return p
+}
+
+// renderSample writes one noisy, jittered copy of proto into dst.
+func renderSample(rng *rand.Rand, spec SynthSpec, proto []float64, dst []float64) {
+	dx, dy := 0, 0
+	if spec.Jitter > 0 {
+		dx = rng.Intn(2*spec.Jitter+1) - spec.Jitter
+		dy = rng.Intn(2*spec.Jitter+1) - spec.Jitter
+	}
+	for ch := 0; ch < spec.Channels; ch++ {
+		base := ch * spec.Side * spec.Side
+		for y := 0; y < spec.Side; y++ {
+			sy := clampInt(y+dy, 0, spec.Side-1)
+			for x := 0; x < spec.Side; x++ {
+				sx := clampInt(x+dx, 0, spec.Side-1)
+				dst[base+y*spec.Side+x] = proto[base+sy*spec.Side+sx] + rng.NormFloat64()*spec.Noise
+			}
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

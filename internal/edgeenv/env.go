@@ -1,0 +1,353 @@
+// Package edgeenv assembles the device fleet, accuracy model, and budget
+// ledger into the edge-learning Markov decision process the hierarchical
+// agent interacts with (Fig. 2 of the paper).
+//
+// One Step corresponds to one federated training round: the caller posts a
+// per-node price vector, every node best-responds with a CPU frequency,
+// participants train, FedAvg runs (through the accuracy model), payments
+// are deducted, and the exterior/inner rewards are emitted. An episode
+// terminates when a round's payment would exceed the remaining budget —
+// that round is discarded per Sec. V-A — or when the MaxRounds safety cap
+// is hit.
+package edgeenv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/device"
+	"chiron/internal/market"
+	"chiron/internal/mat"
+)
+
+// Config parameterizes the environment.
+type Config struct {
+	// Nodes is the edge fleet. The environment never mutates nodes.
+	Nodes []*device.Node
+	// Accuracy produces A(ω_k); it is Reset at every episode start.
+	Accuracy accuracy.Model
+	// Budget is η, the total payment budget per episode.
+	Budget float64
+	// Lambda is λ, the accuracy-preference coefficient (paper: 2000).
+	Lambda float64
+	// TimeWeight scales the time term of the exterior reward. 1 gives the
+	// Eqn. (9)-consistent r^E = λΔA − T_k; setting it to Lambda recovers
+	// the literal Eqn. (14). See DESIGN.md.
+	TimeWeight float64
+	// HistoryLen is L, the number of past rounds in the exterior state.
+	HistoryLen int
+	// MaxRounds caps episode length against degenerate zero-payment loops.
+	MaxRounds int
+	// EmptyRoundTimeout is the wall-clock cost of an offer that attracts no
+	// participants: the server waits this long before reposting. Zero
+	// selects the automatic default (the slowest conceivable round time of
+	// the fleet), which keeps "price everyone out" from being a free skip.
+	EmptyRoundTimeout float64
+	// CommJitter models per-round bandwidth variation (the paper's
+	// B_{i,k}): each node's upload time is scaled each round by a uniform
+	// factor in [1−CommJitter, 1+CommJitter]. Zero disables jitter.
+	CommJitter float64
+	// Availability is the per-round probability that a node is reachable
+	// at all; an unavailable node declines regardless of price. 0 means
+	// always available (the paper's assumption); values in (0,1) inject
+	// the churn real edge fleets exhibit.
+	Availability float64
+	// Rng drives CommJitter and Availability draws. Required when either
+	// is enabled.
+	Rng *rand.Rand
+}
+
+// DefaultConfig returns the paper's settings (λ=2000, L=4) for the given
+// fleet and accuracy model. TimeWeight is calibrated to 0.3 so that the
+// second-scale round times of the Sec. VI-A device constants balance the
+// unit-scale accuracy term the way the paper's dimensionless utility does;
+// see DESIGN.md for the analysis.
+func DefaultConfig(nodes []*device.Node, acc accuracy.Model, budget float64) Config {
+	return Config{
+		Nodes:      nodes,
+		Accuracy:   acc,
+		Budget:     budget,
+		Lambda:     2000,
+		TimeWeight: 0.3,
+		HistoryLen: 4,
+		MaxRounds:  200,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Nodes) == 0:
+		return fmt.Errorf("edgeenv: no nodes")
+	case c.Accuracy == nil:
+		return fmt.Errorf("edgeenv: no accuracy model")
+	case c.Budget <= 0:
+		return fmt.Errorf("edgeenv: budget %v, want > 0", c.Budget)
+	case c.Lambda <= 0:
+		return fmt.Errorf("edgeenv: lambda %v, want > 0", c.Lambda)
+	case c.TimeWeight < 0:
+		return fmt.Errorf("edgeenv: time weight %v, want >= 0", c.TimeWeight)
+	case c.HistoryLen <= 0:
+		return fmt.Errorf("edgeenv: history length %d, want > 0", c.HistoryLen)
+	case c.MaxRounds <= 0:
+		return fmt.Errorf("edgeenv: max rounds %d, want > 0", c.MaxRounds)
+	case c.EmptyRoundTimeout < 0:
+		return fmt.Errorf("edgeenv: empty-round timeout %v, want >= 0", c.EmptyRoundTimeout)
+	case c.CommJitter < 0 || c.CommJitter >= 1:
+		return fmt.Errorf("edgeenv: comm jitter %v outside [0,1)", c.CommJitter)
+	case c.Availability < 0 || c.Availability > 1:
+		return fmt.Errorf("edgeenv: availability %v outside [0,1]", c.Availability)
+	case (c.CommJitter > 0 || (c.Availability > 0 && c.Availability < 1)) && c.Rng == nil:
+		return fmt.Errorf("edgeenv: CommJitter/Availability require a Rng")
+	}
+	for _, n := range c.Nodes {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StepResult reports the outcome of one environment step.
+type StepResult struct {
+	// Round is the committed round record (zero-valued when Done is set by
+	// budget exhaustion, since the overrunning round is discarded).
+	Round market.Round
+	// ExteriorReward is r^E_k = λΔA − TimeWeight·T_k (Eqn. 14).
+	ExteriorReward float64
+	// InnerReward is r^I_k = −Σ(T_k − T_{i,k}) (Eqn. 15).
+	InnerReward float64
+	// Done reports episode termination (budget exhausted or round cap).
+	Done bool
+	// Truncated distinguishes the MaxRounds cap from budget exhaustion.
+	Truncated bool
+}
+
+// Env is the edge-learning environment. It is not safe for concurrent use.
+type Env struct {
+	cfg       Config
+	ledger    *market.Ledger
+	freqNorm  float64 // max ζ_max across fleet, for state normalization
+	priceNorm float64 // per-node price driving the fastest node flat out
+	timeNorm  float64 // slowest conceivable round time
+	round     int
+	lastAcc   float64
+	done      bool
+}
+
+// New validates cfg and returns a fresh environment positioned before the
+// first episode; call Reset before Step.
+func New(cfg Config) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ledger, err := market.NewLedger(cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{cfg: cfg, ledger: ledger, done: true}
+	for _, n := range cfg.Nodes {
+		if n.FreqMax > e.freqNorm {
+			e.freqNorm = n.FreqMax
+		}
+		if p := n.PriceForFreq(n.FreqMax); p > e.priceNorm {
+			e.priceNorm = p
+		}
+		if t := n.ComputeTime(n.FreqMin) + n.CommTime*(1+cfg.CommJitter); t > e.timeNorm {
+			e.timeNorm = t
+		}
+	}
+	return e, nil
+}
+
+// NumNodes returns the fleet size N.
+func (e *Env) NumNodes() int { return len(e.cfg.Nodes) }
+
+// Nodes returns the fleet (callers must not mutate the nodes).
+func (e *Env) Nodes() []*device.Node { return e.cfg.Nodes }
+
+// Ledger exposes the episode ledger for metric extraction.
+func (e *Env) Ledger() *market.Ledger { return e.ledger }
+
+// Config returns the environment configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Round returns the index of the next round to be played (1-based after
+// Reset).
+func (e *Env) Round() int { return e.round }
+
+// Done reports whether the current episode has terminated.
+func (e *Env) Done() bool { return e.done }
+
+// MaxTotalPrice returns Σ_i p_i(ζ_i^max): the total per-round price that
+// drives every node at its maximum frequency. The exterior action space is
+// (0, MaxTotalPrice].
+func (e *Env) MaxTotalPrice() float64 {
+	var sum float64
+	for _, n := range e.cfg.Nodes {
+		sum += n.PriceForFreq(n.FreqMax)
+	}
+	return sum
+}
+
+// StateDim returns the exterior state dimensionality:
+// 3·N·L history values plus remaining budget and round index.
+func (e *Env) StateDim() int {
+	return 3*len(e.cfg.Nodes)*e.cfg.HistoryLen + 2
+}
+
+// Reset begins a new episode: the ledger refills, the learning task
+// restarts, and the initial exterior state (all-zero history, full budget,
+// round 1) is returned.
+func (e *Env) Reset() ([]float64, error) {
+	e.ledger.Reset()
+	acc, err := e.cfg.Accuracy.Reset()
+	if err != nil {
+		return nil, fmt.Errorf("edgeenv: reset accuracy: %w", err)
+	}
+	e.lastAcc = acc
+	e.round = 1
+	e.done = false
+	return e.ExteriorState(), nil
+}
+
+// ExteriorState encodes s^E_k: the most recent L rounds of
+// {ζ, p, T} per node (zero-padded before round L, per the paper), the
+// remaining budget, and the current round index. All values are
+// normalized to keep the policy network well conditioned.
+func (e *Env) ExteriorState() []float64 {
+	n := len(e.cfg.Nodes)
+	l := e.cfg.HistoryLen
+	state := make([]float64, e.StateDim())
+	rounds := e.ledger.Rounds()
+	// Oldest history slot first; missing rounds stay zero.
+	for slot := 0; slot < l; slot++ {
+		idx := len(rounds) - l + slot
+		if idx < 0 {
+			continue
+		}
+		r := &rounds[idx]
+		base := slot * 3 * n
+		for i := 0; i < n; i++ {
+			state[base+i] = r.Freqs[i] / e.freqNorm
+			state[base+n+i] = r.Prices[i] / e.priceNorm
+			state[base+2*n+i] = r.Times[i] / e.timeNorm
+		}
+	}
+	state[3*n*l] = e.ledger.Remaining() / e.ledger.Budget()
+	state[3*n*l+1] = float64(e.round) / float64(e.cfg.MaxRounds)
+	return state
+}
+
+// Step plays one round with the given per-node price vector. It returns
+// the rewards and whether the episode terminated. Stepping a finished
+// episode is an error; call Reset first.
+func (e *Env) Step(prices []float64) (StepResult, error) {
+	if e.done {
+		return StepResult{}, fmt.Errorf("edgeenv: step on finished episode")
+	}
+	if len(prices) != len(e.cfg.Nodes) {
+		return StepResult{}, fmt.Errorf("edgeenv: %d prices for %d nodes", len(prices), len(e.cfg.Nodes))
+	}
+	n := len(e.cfg.Nodes)
+	round := market.Round{
+		Prices: mat.CloneVec(prices),
+		Freqs:  make([]float64, n),
+		Times:  make([]float64, n),
+	}
+	var participants []int
+	for i, node := range e.cfg.Nodes {
+		if e.cfg.Availability > 0 && e.cfg.Availability < 1 && e.cfg.Rng.Float64() >= e.cfg.Availability {
+			continue // node offline this round
+		}
+		commTime := node.CommTime
+		if e.cfg.CommJitter > 0 {
+			commTime *= 1 + (e.cfg.Rng.Float64()*2-1)*e.cfg.CommJitter
+		}
+		resp := node.BestResponseWithComm(prices[i], commTime)
+		if !resp.Participating {
+			continue
+		}
+		round.Freqs[i] = resp.Freq
+		round.Times[i] = resp.Time
+		round.Payment += resp.Payment
+		participants = append(participants, i)
+	}
+	round.Participants = len(participants)
+
+	// An offer that attracts no participants trains nothing but still
+	// costs the server a full offer timeout of wall-clock time before it
+	// can repost — otherwise "price everyone out" would be a free skip a
+	// degenerate policy could idle on. The failed offer is not a training
+	// round: it is charged as waste, both rewards carry the timeout
+	// penalty, and the episode continues (only MaxRounds bounds it).
+	if round.Participants == 0 {
+		timeout := e.cfg.EmptyRoundTimeout
+		if timeout == 0 {
+			timeout = e.timeNorm
+		}
+		if err := e.ledger.AddWaste(timeout); err != nil {
+			return StepResult{}, fmt.Errorf("edgeenv: empty round: %w", err)
+		}
+		res := StepResult{
+			ExteriorReward: -e.cfg.TimeWeight * timeout,
+			InnerReward:    -float64(n) * timeout,
+		}
+		e.round++
+		if e.round > e.cfg.MaxRounds {
+			res.Done = true
+			res.Truncated = true
+			e.done = true
+		}
+		return res, nil
+	}
+
+	// Budget check happens before any training: an overrunning round is
+	// discarded wholesale and the episode ends (Sec. V-A).
+	if round.Payment > e.ledger.Remaining() {
+		e.done = true
+		return StepResult{Done: true}, nil
+	}
+
+	acc, err := e.cfg.Accuracy.Advance(participants)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("edgeenv: advance accuracy: %w", err)
+	}
+	round.Accuracy = acc
+	if err := e.ledger.Commit(round); err != nil {
+		// Unreachable given the pre-check, but surface it rather than panic.
+		return StepResult{}, fmt.Errorf("edgeenv: commit: %w", err)
+	}
+
+	res := StepResult{
+		Round:          round,
+		ExteriorReward: e.cfg.Lambda*(acc-e.lastAcc) - e.cfg.TimeWeight*round.RoundTime(),
+		InnerReward:    -round.IdleTime(),
+	}
+	e.lastAcc = acc
+	e.round++
+	if e.round > e.cfg.MaxRounds {
+		res.Done = true
+		res.Truncated = true
+		e.done = true
+	}
+	return res, nil
+}
+
+// RandomPrices produces a feasible random per-node price vector whose total
+// is a uniform fraction of MaxTotalPrice — used by the Greedy baseline's
+// exploration and in tests.
+func (e *Env) RandomPrices(rng *rand.Rand) []float64 {
+	n := len(e.cfg.Nodes)
+	total := rng.Float64() * e.MaxTotalPrice()
+	props := make([]float64, n)
+	for i := range props {
+		props[i] = rng.Float64() + 1e-9
+	}
+	mat.Normalize(props)
+	for i := range props {
+		props[i] *= total
+	}
+	return props
+}

@@ -1,0 +1,302 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/core"
+	"chiron/internal/dataset"
+	"chiron/internal/device"
+	"chiron/internal/edgeenv"
+	"chiron/internal/fl"
+	"chiron/internal/nn"
+)
+
+// Extra ablation studies beyond the paper's artifacts, runnable through
+// the same CLI. Each probes one design choice documented in DESIGN.md.
+const (
+	AblLambda Artifact = "abl-lambda" // preference coefficient λ sweep
+	AblReward Artifact = "abl-reward" // Eqn. 9 vs literal Eqn. 14 time weighting
+	AblRobust Artifact = "abl-robust" // frozen policy under bandwidth jitter / node churn
+	AblNonIID Artifact = "abl-noniid" // real FedAvg training, IID vs Dirichlet splits
+)
+
+// ExtraArtifacts lists the ablation studies.
+func ExtraArtifacts() []Artifact {
+	return []Artifact{AblLambda, AblReward, AblRobust, AblNonIID}
+}
+
+// IsExtra reports whether the artifact is an ablation study rather than a
+// paper figure/table.
+func IsExtra(a Artifact) bool {
+	switch a {
+	case AblLambda, AblReward, AblRobust, AblNonIID:
+		return true
+	default:
+		return false
+	}
+}
+
+// DescribeExtra returns a one-line description of an ablation artifact.
+func DescribeExtra(a Artifact) string {
+	switch a {
+	case AblLambda:
+		return "Ablation: preference coefficient λ sweep (accuracy-vs-time trade-off)"
+	case AblReward:
+		return "Ablation: Eqn. 9-consistent vs literal Eqn. 14 exterior reward"
+	case AblRobust:
+		return "Ablation: trained policy under bandwidth jitter and node churn"
+	case AblNonIID:
+		return "Ablation: real FedAvg training under IID vs Dirichlet non-IID splits"
+	default:
+		return fmt.Sprintf("unknown ablation %q", a)
+	}
+}
+
+// RunExtra executes an ablation study at the given scale and returns a
+// rendered report.
+func RunExtra(a Artifact, scale float64) (string, error) {
+	if scale <= 0 || scale > 1 {
+		return "", fmt.Errorf("experiment: scale %v outside (0,1]", scale)
+	}
+	switch a {
+	case AblLambda:
+		return runLambdaAblation(scale)
+	case AblReward:
+		return runRewardAblation(scale)
+	case AblRobust:
+		return runRobustnessAblation(scale)
+	case AblNonIID:
+		return runNonIIDAblation(scale)
+	default:
+		return "", fmt.Errorf("experiment: unknown ablation %q", a)
+	}
+}
+
+// trainChironOn builds and trains a Chiron agent on env for the scaled
+// number of episodes and returns its deterministic evaluation.
+func trainChironOn(env *edgeenv.Env, seed int64, scale float64, evalEpisodes int) (res evalResult, err error) {
+	ch, err := core.New(env, TunedChironConfig(seed))
+	if err != nil {
+		return evalResult{}, err
+	}
+	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
+		return evalResult{}, err
+	}
+	summary, err := ch.Evaluate(evalEpisodes)
+	if err != nil {
+		return evalResult{}, err
+	}
+	return evalResult{
+		Accuracy:       summary.FinalAccuracy,
+		Rounds:         summary.Rounds,
+		TimeEfficiency: summary.TimeEfficiency,
+		Utility:        summary.ServerUtility,
+	}, nil
+}
+
+// evalResult is the condensed row every ablation table reports.
+type evalResult struct {
+	Accuracy       float64
+	Rounds         int
+	TimeEfficiency float64
+	Utility        float64
+}
+
+func renderRows(title string, header string, rows []string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintln(&b, header)
+	for _, r := range rows {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}
+
+// runLambdaAblation sweeps the preference coefficient λ: larger λ should
+// push the learned policy toward more rounds and higher final accuracy at
+// the cost of total time.
+func runLambdaAblation(scale float64) (string, error) {
+	lambdas := []float64{500, 2000, 8000}
+	rows := make([]string, 0, len(lambdas))
+	for _, lambda := range lambdas {
+		env, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: 7, Lambda: lambda})
+		if err != nil {
+			return "", err
+		}
+		res, err := trainChironOn(env, 7, scale, 3)
+		if err != nil {
+			return "", fmt.Errorf("experiment: lambda %v: %w", lambda, err)
+		}
+		rows = append(rows, fmt.Sprintf("%-8.0f %10.3f %8d %10.1f%% %12.1f",
+			lambda, res.Accuracy, res.Rounds, 100*res.TimeEfficiency, res.Utility))
+	}
+	return renderRows(
+		DescribeExtra(AblLambda),
+		fmt.Sprintf("%-8s %10s %8s %10s %12s", "lambda", "accuracy", "rounds", "time-eff", "utility"),
+		rows), nil
+}
+
+// runRewardAblation compares the exterior time weighting: the calibrated
+// Eqn. 9-consistent default, the raw w=1, and the literal Eqn. 14 (w=λ).
+func runRewardAblation(scale float64) (string, error) {
+	weights := []struct {
+		name string
+		w    float64
+	}{
+		{"calibrated (0.3)", 0.3},
+		{"unit (1.0)", 1.0},
+		{"eqn14 literal (λ)", 2000},
+	}
+	rows := make([]string, 0, len(weights))
+	for _, tw := range weights {
+		env, err := buildEnvWithTimeWeight(7, 300, tw.w)
+		if err != nil {
+			return "", err
+		}
+		res, err := trainChironOn(env, 7, scale, 3)
+		if err != nil {
+			return "", fmt.Errorf("experiment: time weight %v: %w", tw.w, err)
+		}
+		rows = append(rows, fmt.Sprintf("%-20s %10.3f %8d %10.1f%%",
+			tw.name, res.Accuracy, res.Rounds, 100*res.TimeEfficiency))
+	}
+	return renderRows(
+		DescribeExtra(AblReward),
+		fmt.Sprintf("%-20s %10s %8s %10s", "time weight", "accuracy", "rounds", "time-eff"),
+		rows), nil
+}
+
+func buildEnvWithTimeWeight(seed int64, budget, timeWeight float64) (*edgeenv.Env, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes, err := device.NewFleet(rng, device.DefaultFleetSpec(5))
+	if err != nil {
+		return nil, err
+	}
+	acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+	if err != nil {
+		return nil, err
+	}
+	cfg := edgeenv.DefaultConfig(nodes, acc, budget)
+	cfg.TimeWeight = timeWeight
+	return edgeenv.New(cfg)
+}
+
+// runRobustnessAblation trains once on the clean environment and evaluates
+// the frozen policy under increasing churn.
+func runRobustnessAblation(scale float64) (string, error) {
+	const seed = 7
+	clean, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	ch, err := core.New(clean, TunedChironConfig(seed))
+	if err != nil {
+		return "", err
+	}
+	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
+		return "", err
+	}
+	ck := ch.Checkpoint()
+
+	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(5))
+	if err != nil {
+		return "", err
+	}
+	scenarios := []struct {
+		name         string
+		jitter       float64
+		availability float64
+	}{
+		{"clean", 0, 0},
+		{"jitter 10%", 0.10, 0},
+		{"jitter 30%", 0.30, 0},
+		{"availability 80%", 0, 0.80},
+		{"jitter 30% + avail 80%", 0.30, 0.80},
+	}
+	rows := make([]string, 0, len(scenarios))
+	for _, sc := range scenarios {
+		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+		if err != nil {
+			return "", err
+		}
+		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+		cfg.CommJitter = sc.jitter
+		cfg.Availability = sc.availability
+		if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
+			cfg.Rng = rand.New(rand.NewSource(seed + 2))
+		}
+		env, err := edgeenv.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		agent, err := core.New(env, TunedChironConfig(seed))
+		if err != nil {
+			return "", err
+		}
+		if err := agent.Restore(ck); err != nil {
+			return "", err
+		}
+		res, err := agent.Evaluate(3)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, fmt.Sprintf("%-26s %10.3f %8d %10.1f%%",
+			sc.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency))
+	}
+	return renderRows(
+		DescribeExtra(AblRobust),
+		fmt.Sprintf("%-26s %10s %8s %10s", "scenario", "accuracy", "rounds", "time-eff"),
+		rows), nil
+}
+
+// runNonIIDAblation runs real FedAvg training (no surrogate) with IID and
+// Dirichlet splits, reporting the measured accuracy after a fixed number
+// of federated rounds per split.
+func runNonIIDAblation(scale float64) (string, error) {
+	rounds := scaleCount(30, scale)
+	splits := []struct {
+		name string
+		part dataset.Partitioner
+	}{
+		{"iid", dataset.IID{}},
+		{"dirichlet α=0.5", dataset.Dirichlet{Alpha: 0.5}},
+		{"dirichlet α=0.1", dataset.Dirichlet{Alpha: 0.1}},
+		{"shards (2/node)", dataset.Shards{ShardsPerNode: 2}},
+	}
+	spec := dataset.SynthMNIST(1500)
+	spec.Noise = 0.9
+	spec.Overlap = 0.2
+	spec.Jitter = 2
+	rows := make([]string, 0, len(splits))
+	for _, sp := range splits {
+		trainer, err := accuracy.NewRealTrainer(accuracy.RealTrainerConfig{
+			Spec:        spec,
+			Partitioner: sp.part,
+			Factory: func(rng *rand.Rand) (*nn.Network, error) {
+				return nn.NewClassifierMLP(rng, spec.Dim(), 32, spec.Classes)
+			},
+			Train:        fl.DefaultConfig(),
+			NumNodes:     5,
+			TestFraction: 0.2,
+			Seed:         11,
+		})
+		if err != nil {
+			return "", err
+		}
+		participants := []int{0, 1, 2, 3, 4}
+		var acc float64
+		for k := 0; k < rounds; k++ {
+			if acc, err = trainer.Advance(participants); err != nil {
+				return "", err
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%-18s %10.3f", sp.name, acc))
+	}
+	return renderRows(
+		fmt.Sprintf("%s (%d real FedAvg rounds each)", DescribeExtra(AblNonIID), rounds),
+		fmt.Sprintf("%-18s %10s", "split", "accuracy"),
+		rows), nil
+}

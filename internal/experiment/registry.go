@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"chiron/internal/accuracy"
+)
+
+// Artifact identifies one table or figure of the paper's evaluation.
+type Artifact string
+
+// The reproduced artifacts.
+const (
+	Fig3  Artifact = "fig3"  // Chiron convergence, MNIST, 5 nodes
+	Fig4  Artifact = "fig4"  // accuracy/rounds/time-eff vs budget, MNIST, 5 nodes
+	Fig5  Artifact = "fig5"  // same panels, Fashion-MNIST
+	Fig6  Artifact = "fig6"  // same panels, CIFAR-10
+	Fig7a Artifact = "fig7a" // Chiron convergence, 100 nodes
+	Fig7b Artifact = "fig7b" // DRL-based convergence, 100 nodes
+	Tab1  Artifact = "tab1"  // Chiron at 100 nodes across budgets
+)
+
+// Artifacts lists every reproduced artifact in paper order.
+func Artifacts() []Artifact {
+	return []Artifact{Fig3, Fig4, Fig5, Fig6, Fig7a, Fig7b, Tab1}
+}
+
+// Describe returns a one-line description of an artifact.
+func Describe(a Artifact) string {
+	switch a {
+	case Fig3:
+		return "Fig. 3: Chiron episode-reward convergence (MNIST, 5 nodes, η=300)"
+	case Fig4:
+		return "Fig. 4: accuracy / rounds / time efficiency vs budget (MNIST, 5 nodes)"
+	case Fig5:
+		return "Fig. 5: accuracy / rounds / time efficiency vs budget (Fashion-MNIST, 5 nodes)"
+	case Fig6:
+		return "Fig. 6: accuracy / rounds / time efficiency vs budget (CIFAR-10, 5 nodes)"
+	case Fig7a:
+		return "Fig. 7(a): Chiron exterior-agent convergence (MNIST, 100 nodes, η=300)"
+	case Fig7b:
+		return "Fig. 7(b): DRL-based convergence failure (MNIST, 100 nodes, η=300)"
+	case Tab1:
+		return "Table I: Chiron under MNIST with 100 edge nodes across budgets"
+	default:
+		return fmt.Sprintf("unknown artifact %q", a)
+	}
+}
+
+// ComparisonDefaults returns the full-scale parameters for a comparison
+// artifact (fig4, fig5, fig6, tab1).
+func ComparisonDefaults(a Artifact) (ComparisonParams, error) {
+	threeWay := []MechanismKind{KindChiron, KindDRLBased, KindGreedy}
+	switch a {
+	case Fig4:
+		return ComparisonParams{
+			Preset: accuracy.PresetMNIST, Nodes: 5,
+			Budgets:    []float64{100, 200, 300, 400, 500},
+			Mechanisms: threeWay, TrainEpisodes: 500, EvalEpisodes: 5, Seed: 7,
+		}, nil
+	case Fig5:
+		return ComparisonParams{
+			Preset: accuracy.PresetFashion, Nodes: 5,
+			Budgets:    []float64{100, 200, 300, 400, 500},
+			Mechanisms: threeWay, TrainEpisodes: 500, EvalEpisodes: 5, Seed: 7,
+		}, nil
+	case Fig6:
+		// CIFAR-10 converges more slowly, so the paper uses larger budgets.
+		return ComparisonParams{
+			Preset: accuracy.PresetCIFAR, Nodes: 5,
+			Budgets:    []float64{200, 400, 600, 800, 1000},
+			Mechanisms: threeWay, TrainEpisodes: 500, EvalEpisodes: 5, Seed: 7,
+		}, nil
+	case Tab1:
+		return ComparisonParams{
+			Preset: accuracy.PresetMNISTLarge, Nodes: 100,
+			Budgets:    []float64{140, 220, 300, 380},
+			Mechanisms: []MechanismKind{KindChiron}, TrainEpisodes: 500, EvalEpisodes: 3, Seed: 7,
+			TimeWeight: 0.075,
+		}, nil
+	default:
+		return ComparisonParams{}, fmt.Errorf("experiment: %q is not a comparison artifact", a)
+	}
+}
+
+// ConvergenceDefaults returns the full-scale parameters for a convergence
+// artifact (fig3, fig7a, fig7b).
+func ConvergenceDefaults(a Artifact) (ConvergenceParams, error) {
+	switch a {
+	case Fig3:
+		return ConvergenceParams{
+			Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300,
+			Mechanism: KindChiron, Episodes: 500, Window: 20, Seed: 7,
+		}, nil
+	case Fig7a:
+		return ConvergenceParams{
+			Preset: accuracy.PresetMNISTLarge, Nodes: 100, Budget: 300,
+			Mechanism: KindChiron, Episodes: 500, Window: 20, Seed: 7,
+			TimeWeight: 0.075,
+		}, nil
+	case Fig7b:
+		return ConvergenceParams{
+			Preset: accuracy.PresetMNISTLarge, Nodes: 100, Budget: 300,
+			Mechanism: KindDRLBased, Episodes: 500, Window: 20, Seed: 7,
+			TimeWeight: 0.075,
+		}, nil
+	default:
+		return ConvergenceParams{}, fmt.Errorf("experiment: %q is not a convergence artifact", a)
+	}
+}
+
+// IsComparison reports whether the artifact is a budget-sweep comparison.
+func IsComparison(a Artifact) bool {
+	switch a {
+	case Fig4, Fig5, Fig6, Tab1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes an artifact at the given scale (1.0 = full paper scale) and
+// returns a rendered text report. It is the single entry point used by the
+// CLI and the benchmark harness; it also resolves ablation artifacts.
+func Run(a Artifact, scale float64) (string, error) {
+	if scale <= 0 || scale > 1 {
+		return "", fmt.Errorf("experiment: scale %v outside (0,1]", scale)
+	}
+	if IsExtra(a) {
+		return RunExtra(a, scale)
+	}
+	if IsComparison(a) {
+		params, err := ComparisonDefaults(a)
+		if err != nil {
+			return "", err
+		}
+		cmp, err := RunComparison(params.Scale(scale))
+		if err != nil {
+			return "", err
+		}
+		return RenderComparison(a, cmp), nil
+	}
+	params, err := ConvergenceDefaults(a)
+	if err != nil {
+		return "", err
+	}
+	conv, err := RunConvergence(params.Scale(scale))
+	if err != nil {
+		return "", err
+	}
+	return RenderConvergence(a, conv), nil
+}
+
+// sortedNames returns the mechanism names of a point in deterministic
+// (Chiron-first, then alphabetical) order.
+func sortedNames(p BudgetPoint) []string {
+	names := make([]string, 0, len(p.Results))
+	for name := range p.Results {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i] == "Chiron" {
+			return true
+		}
+		if names[j] == "Chiron" {
+			return false
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

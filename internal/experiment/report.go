@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderComparison formats a budget sweep as the rows the paper's figure
+// or table reports: one block per budget, one line per mechanism.
+func RenderComparison(a Artifact, c *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", Describe(a))
+	fmt.Fprintf(&b, "%-8s %-18s %10s %8s %10s %12s %10s\n",
+		"budget", "mechanism", "accuracy", "rounds", "time-eff", "utility", "spent")
+	for _, point := range c.Points {
+		for _, name := range sortedNames(point) {
+			r := point.Results[name]
+			fmt.Fprintf(&b, "%-8.0f %-18s %10.3f %8d %10.1f%% %12.1f %10.1f\n",
+				point.Budget, name, r.FinalAccuracy, r.Rounds, 100*r.TimeEfficiency, r.ServerUtility, r.BudgetSpent)
+		}
+	}
+	return b.String()
+}
+
+// RenderConvergence formats a learning curve, sampling the smoothed reward
+// at regular intervals so the trend is visible in a terminal.
+func RenderConvergence(a Artifact, c *Convergence) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", Describe(a))
+	fmt.Fprintf(&b, "%-10s %14s %10s %8s %10s\n", "episode", "reward(avg)", "accuracy", "rounds", "time-eff")
+	n := len(c.Episodes)
+	step := n / 10
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		r := c.Episodes[i]
+		fmt.Fprintf(&b, "%-10d %14.1f %10.3f %8d %10.1f%%\n",
+			r.Episode, c.SmoothedReward[i], r.FinalAccuracy, r.Rounds, 100*r.TimeEfficiency)
+	}
+	last := c.Episodes[n-1]
+	fmt.Fprintf(&b, "%-10s %14.1f %10.3f %8d %10.1f%%\n",
+		"final", c.SmoothedReward[n-1], last.FinalAccuracy, last.Rounds, 100*last.TimeEfficiency)
+	return b.String()
+}
+
+// WriteComparisonCSV emits the sweep as CSV for external plotting.
+func WriteComparisonCSV(w io.Writer, c *Comparison) error {
+	cw := csv.NewWriter(w)
+	header := []string{"budget", "mechanism", "accuracy", "rounds", "time_efficiency", "server_utility", "budget_spent", "total_time"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: csv header: %w", err)
+	}
+	for _, point := range c.Points {
+		for _, name := range sortedNames(point) {
+			r := point.Results[name]
+			rec := []string{
+				strconv.FormatFloat(point.Budget, 'f', -1, 64),
+				name,
+				strconv.FormatFloat(r.FinalAccuracy, 'f', 4, 64),
+				strconv.Itoa(r.Rounds),
+				strconv.FormatFloat(r.TimeEfficiency, 'f', 4, 64),
+				strconv.FormatFloat(r.ServerUtility, 'f', 2, 64),
+				strconv.FormatFloat(r.BudgetSpent, 'f', 2, 64),
+				strconv.FormatFloat(r.TotalTime, 'f', 1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("experiment: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteConvergenceCSV emits the learning curve as CSV for external plotting.
+func WriteConvergenceCSV(w io.Writer, c *Convergence) error {
+	cw := csv.NewWriter(w)
+	header := []string{"episode", "exterior_return", "discounted_return", "smoothed_return", "inner_return", "accuracy", "rounds", "time_efficiency"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: csv header: %w", err)
+	}
+	for i, r := range c.Episodes {
+		rec := []string{
+			strconv.Itoa(r.Episode),
+			strconv.FormatFloat(r.ExteriorReturn, 'f', 2, 64),
+			strconv.FormatFloat(r.DiscountedReturn, 'f', 2, 64),
+			strconv.FormatFloat(c.SmoothedReward[i], 'f', 2, 64),
+			strconv.FormatFloat(r.InnerReturn, 'f', 2, 64),
+			strconv.FormatFloat(r.FinalAccuracy, 'f', 4, 64),
+			strconv.Itoa(r.Rounds),
+			strconv.FormatFloat(r.TimeEfficiency, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/mechanism"
+)
+
+// ComparisonParams configures a Fig. 4/5/6-style budget sweep comparing
+// mechanisms on one dataset.
+type ComparisonParams struct {
+	// Preset selects the dataset.
+	Preset accuracy.Preset
+	// Nodes is the fleet size.
+	Nodes int
+	// Budgets is the η sweep (the figure's x axis).
+	Budgets []float64
+	// Mechanisms lists the mechanisms to compare.
+	Mechanisms []MechanismKind
+	// TrainEpisodes is E per (mechanism, budget) pair (paper: 500).
+	TrainEpisodes int
+	// EvalEpisodes averages the deterministic evaluation.
+	EvalEpisodes int
+	// Seed drives everything.
+	Seed int64
+	// TimeWeight overrides the environment's exterior time weighting
+	// (0 = calibrated default).
+	TimeWeight float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p ComparisonParams) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("experiment: comparison nodes %d", p.Nodes)
+	case len(p.Budgets) == 0:
+		return fmt.Errorf("experiment: comparison has no budgets")
+	case len(p.Mechanisms) == 0:
+		return fmt.Errorf("experiment: comparison has no mechanisms")
+	case p.TrainEpisodes < 0 || p.EvalEpisodes <= 0:
+		return fmt.Errorf("experiment: comparison episodes train=%d eval=%d", p.TrainEpisodes, p.EvalEpisodes)
+	}
+	return nil
+}
+
+// Scale returns a copy with episode counts multiplied by f (minimum 1),
+// letting benchmarks run reduced versions of the full experiment.
+func (p ComparisonParams) Scale(f float64) ComparisonParams {
+	scaled := p
+	scaled.TrainEpisodes = scaleCount(p.TrainEpisodes, f)
+	scaled.EvalEpisodes = scaleCount(p.EvalEpisodes, f)
+	return scaled
+}
+
+func scaleCount(n int, f float64) int {
+	if n == 0 {
+		return 0
+	}
+	s := int(float64(n) * f)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// BudgetPoint holds one budget's evaluation for every mechanism.
+type BudgetPoint struct {
+	Budget  float64
+	Results map[string]mechanism.EpisodeResult
+}
+
+// Comparison is the output of a budget sweep — the data behind one of the
+// paper's three-panel figures (accuracy, rounds, time efficiency vs η).
+type Comparison struct {
+	Params ComparisonParams
+	Points []BudgetPoint
+}
+
+// RunComparison executes the sweep: for each budget, each mechanism is
+// trained from scratch on its own environment copy (same fleet seed, so
+// all mechanisms face identical node populations) and then evaluated.
+func RunComparison(p ComparisonParams) (*Comparison, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Comparison{Params: p}
+	for _, budget := range p.Budgets {
+		point := BudgetPoint{Budget: budget, Results: make(map[string]mechanism.EpisodeResult, len(p.Mechanisms))}
+		for _, kind := range p.Mechanisms {
+			env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
+			if err != nil {
+				return nil, err
+			}
+			m, err := BuildMechanism(kind, env, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := TrainAndEvaluate(m, p.TrainEpisodes, p.EvalEpisodes)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: budget %.0f: %w", budget, err)
+			}
+			point.Results[kind.String()] = res
+		}
+		out.Points = append(out.Points, point)
+	}
+	return out, nil
+}
+
+// ConvergenceParams configures a Fig. 3/7-style learning-curve run.
+type ConvergenceParams struct {
+	// Preset selects the dataset.
+	Preset accuracy.Preset
+	// Nodes is the fleet size.
+	Nodes int
+	// Budget is η.
+	Budget float64
+	// Mechanism selects the learner whose curve is recorded.
+	Mechanism MechanismKind
+	// Episodes is the training length (paper: 500).
+	Episodes int
+	// Window smooths the reported reward with a trailing moving average.
+	Window int
+	// Seed drives everything.
+	Seed int64
+	// TimeWeight overrides the environment's exterior time weighting
+	// (0 = calibrated default).
+	TimeWeight float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p ConvergenceParams) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("experiment: convergence nodes %d", p.Nodes)
+	case p.Budget <= 0:
+		return fmt.Errorf("experiment: convergence budget %v", p.Budget)
+	case p.Episodes <= 0:
+		return fmt.Errorf("experiment: convergence episodes %d", p.Episodes)
+	case p.Window <= 0:
+		return fmt.Errorf("experiment: convergence window %d", p.Window)
+	}
+	return nil
+}
+
+// Scale returns a copy with the episode count multiplied by f (minimum 1).
+func (p ConvergenceParams) Scale(f float64) ConvergenceParams {
+	scaled := p
+	scaled.Episodes = scaleCount(p.Episodes, f)
+	return scaled
+}
+
+// Convergence is a learning curve: one entry per training episode.
+type Convergence struct {
+	Params   ConvergenceParams
+	Episodes []mechanism.EpisodeResult
+	// SmoothedReward is the Window-episode trailing mean of the episode
+	// exterior return Σ_k r^E_k, the series plotted in Figs. 3 and 7.
+	SmoothedReward []float64
+}
+
+// RunConvergence trains the mechanism and records its per-episode results.
+func RunConvergence(p ConvergenceParams) (*Convergence, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: p.Budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
+	if err != nil {
+		return nil, err
+	}
+	m, err := BuildMechanism(p.Mechanism, env, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := m.(trainable)
+	if !ok {
+		return nil, fmt.Errorf("experiment: mechanism %s is not trainable", m.Name())
+	}
+	episodes, err := t.Train(p.Episodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Convergence{Params: p, Episodes: episodes}
+	out.SmoothedReward = smooth(extReturns(episodes), p.Window)
+	return out, nil
+}
+
+func extReturns(results []mechanism.EpisodeResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.ExteriorReturn
+	}
+	return out
+}
+
+// smooth computes a trailing moving average with the given window.
+func smooth(series []float64, window int) []float64 {
+	out := make([]float64, len(series))
+	var sum float64
+	for i, v := range series {
+		sum += v
+		if i >= window {
+			sum -= series[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}

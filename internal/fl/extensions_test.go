@@ -1,0 +1,143 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMomentumServerValidation(t *testing.T) {
+	d := testData(t, 40, 20)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if _, err := NewMomentumServer(nil, 0.5); err == nil {
+		t.Fatal("accepted nil server")
+	}
+	if _, err := NewMomentumServer(srv, 1.0); err == nil {
+		t.Fatal("accepted momentum 1.0")
+	}
+	if _, err := NewMomentumServer(srv, -0.1); err == nil {
+		t.Fatal("accepted negative momentum")
+	}
+}
+
+func TestMomentumZeroIsPlainFedAvg(t *testing.T) {
+	d := testData(t, 40, 22)
+	mkServer := func() *Server {
+		srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(23)))
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		return srv
+	}
+	plain := mkServer()
+	wrapped, err := NewMomentumServer(mkServer(), 0)
+	if err != nil {
+		t.Fatalf("NewMomentumServer: %v", err)
+	}
+	dim := len(plain.Global())
+	update := make([]float64, dim)
+	rng := rand.New(rand.NewSource(24))
+	for i := range update {
+		update[i] = rng.NormFloat64()
+	}
+	if err := plain.Aggregate([]Update{{Params: update, Samples: 5}}); err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if err := wrapped.Aggregate([]Update{{Params: update, Samples: 5}}); err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	a, b := plain.Global(), wrapped.Global()
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("momentum 0 diverges from plain FedAvg")
+		}
+	}
+}
+
+func TestMomentumAcceleratesRepeatedDirection(t *testing.T) {
+	d := testData(t, 40, 25)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(26)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ms, err := NewMomentumServer(srv, 0.9)
+	if err != nil {
+		t.Fatalf("NewMomentumServer: %v", err)
+	}
+	start := ms.Global()
+	dim := len(start)
+	// Clients repeatedly report the model shifted by +1 in coordinate 0.
+	step := func() {
+		target := ms.Global()
+		target[0]++
+		if err := ms.Aggregate([]Update{{Params: target, Samples: 1}}); err != nil {
+			t.Fatalf("Aggregate: %v", err)
+		}
+	}
+	step()
+	afterOne := ms.Global()[0] - start[0]
+	step()
+	afterTwo := ms.Global()[0] - start[0] - afterOne
+	// With momentum the second step must exceed the first (velocity built).
+	if afterTwo <= afterOne {
+		t.Fatalf("momentum did not accelerate: step1 %v step2 %v", afterOne, afterTwo)
+	}
+	_ = dim
+}
+
+func TestMomentumServerEvaluate(t *testing.T) {
+	d := testData(t, 60, 27)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(28)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ms, err := NewMomentumServer(srv, 0.5)
+	if err != nil {
+		t.Fatalf("NewMomentumServer: %v", err)
+	}
+	acc, err := ms.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestSampleClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	sample, err := SampleClients(rng, 10, 4)
+	if err != nil {
+		t.Fatalf("SampleClients: %v", err)
+	}
+	if len(sample) != 4 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	seen := map[int]bool{}
+	for _, idx := range sample {
+		if idx < 0 || idx >= 10 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	// k >= n returns everyone.
+	all, err := SampleClients(rng, 3, 10)
+	if err != nil {
+		t.Fatalf("SampleClients: %v", err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("full sample size %d", len(all))
+	}
+	if _, err := SampleClients(rng, 0, 1); err == nil {
+		t.Fatal("accepted zero clients")
+	}
+	if _, err := SampleClients(rng, 5, 0); err == nil {
+		t.Fatal("accepted zero sample size")
+	}
+}

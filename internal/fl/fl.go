@@ -1,0 +1,220 @@
+// Package fl implements the federated-learning substrate the incentive
+// mechanism prices: a parameter server, per-node local SGD training over σ
+// epochs, and the FedAvg weighted aggregation of Eqn. (4).
+//
+// The engine is synchronous and deterministic given its RNG, matching the
+// round-by-round model of the paper: download global parameters, run σ
+// local epochs, upload, aggregate by sample count.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/dataset"
+	"chiron/internal/mat"
+	"chiron/internal/nn"
+)
+
+// ModelFactory constructs a fresh, identically shaped model; each edge node
+// and the server evaluation harness instantiate their own copy and exchange
+// flat parameter vectors.
+type ModelFactory func(rng *rand.Rand) (*nn.Network, error)
+
+// Config parameterizes a federated training engine.
+type Config struct {
+	// Epochs is σ, the local epochs per round (paper: 5).
+	Epochs int
+	// BatchSize is the local mini-batch size (paper: 10).
+	BatchSize int
+	// LearningRate is the local SGD step size.
+	LearningRate float64
+	// Momentum is the local SGD momentum (0 disables).
+	Momentum float64
+}
+
+// DefaultConfig mirrors the paper's local-training settings.
+func DefaultConfig() Config {
+	return Config{Epochs: 5, BatchSize: 10, LearningRate: 0.05, Momentum: 0.5}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("fl: epochs %d, want > 0", c.Epochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fl: batch size %d, want > 0", c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("fl: learning rate %v, want > 0", c.LearningRate)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("fl: momentum %v, want [0,1)", c.Momentum)
+	}
+	return nil
+}
+
+// Client is one edge node's training state.
+type Client struct {
+	id    int
+	data  *dataset.Dataset
+	model *nn.Network
+	cfg   Config
+	rng   *rand.Rand
+}
+
+// NewClient builds a client over its local dataset. The model is created
+// from factory but its parameters are always overwritten by the server's
+// global vector at the start of each round.
+func NewClient(id int, data *dataset.Dataset, factory ModelFactory, cfg Config, rng *rand.Rand) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("fl: client %d has no data", id)
+	}
+	model, err := factory(rng)
+	if err != nil {
+		return nil, fmt.Errorf("fl: client %d model: %w", id, err)
+	}
+	return &Client{id: id, data: data, model: model, cfg: cfg, rng: rng}, nil
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() int { return c.id }
+
+// NumSamples returns |D_i|, the FedAvg weight.
+func (c *Client) NumSamples() int { return c.data.Len() }
+
+// TrainRound downloads the global parameters, runs σ local epochs of
+// mini-batch SGD (ω ← ω − μ∇F_i), and returns the updated flat parameter
+// vector along with the mean training loss of the final epoch.
+func (c *Client) TrainRound(global []float64) ([]float64, float64, error) {
+	if err := c.model.LoadParams(global); err != nil {
+		return nil, 0, fmt.Errorf("fl: client %d load: %w", c.id, err)
+	}
+	opt := nn.NewSGD(c.model.Params(), c.cfg.LearningRate, c.cfg.Momentum)
+	var lastLoss float64
+	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
+		c.data.Shuffle(c.rng)
+		var epochLoss float64
+		var batches int
+		err := c.data.Batches(c.cfg.BatchSize, func(x *mat.Matrix, y []int) error {
+			logits, err := c.model.Forward(x)
+			if err != nil {
+				return err
+			}
+			loss, grad, err := nn.SoftmaxCrossEntropy(logits, y)
+			if err != nil {
+				return err
+			}
+			c.model.ZeroGrad()
+			if _, err := c.model.Backward(grad); err != nil {
+				return err
+			}
+			if err := opt.Step(); err != nil {
+				return err
+			}
+			epochLoss += loss
+			batches++
+			return nil
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("fl: client %d epoch %d: %w", c.id, epoch, err)
+		}
+		if batches > 0 {
+			lastLoss = epochLoss / float64(batches)
+		}
+	}
+	return c.model.FlattenParams(), lastLoss, nil
+}
+
+// Server is the FedAvg parameter server.
+type Server struct {
+	global []float64
+	test   *dataset.Dataset
+	eval   *nn.Network
+}
+
+// NewServer builds a server holding the initial global model (from factory)
+// and an evaluation copy scored against the held-out test set.
+func NewServer(test *dataset.Dataset, factory ModelFactory, rng *rand.Rand) (*Server, error) {
+	if test == nil || test.Len() == 0 {
+		return nil, fmt.Errorf("fl: server needs a non-empty test set")
+	}
+	model, err := factory(rng)
+	if err != nil {
+		return nil, fmt.Errorf("fl: server model: %w", err)
+	}
+	return &Server{global: model.FlattenParams(), test: test, eval: model}, nil
+}
+
+// Global returns a copy of the current global parameter vector.
+func (s *Server) Global() []float64 {
+	cp := make([]float64, len(s.global))
+	copy(cp, s.global)
+	return cp
+}
+
+// Update is one client's round contribution.
+type Update struct {
+	Params  []float64
+	Samples int
+}
+
+// Aggregate applies FedAvg (Eqn. 4): the new global model is the
+// sample-count-weighted average of the uploaded parameter vectors. Updates
+// with no samples or mismatched sizes are rejected.
+func (s *Server) Aggregate(updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("fl: aggregate with no updates")
+	}
+	var total float64
+	for i, u := range updates {
+		if len(u.Params) != len(s.global) {
+			return fmt.Errorf("fl: update %d has %d params, want %d", i, len(u.Params), len(s.global))
+		}
+		if u.Samples <= 0 {
+			return fmt.Errorf("fl: update %d has %d samples", i, u.Samples)
+		}
+		total += float64(u.Samples)
+	}
+	next := make([]float64, len(s.global))
+	for _, u := range updates {
+		w := float64(u.Samples) / total
+		for j, v := range u.Params {
+			next[j] += w * v
+		}
+	}
+	s.global = next
+	return nil
+}
+
+// Evaluate scores the current global model on the held-out test set and
+// returns its top-1 accuracy A(ω).
+func (s *Server) Evaluate() (float64, error) {
+	if err := s.eval.LoadParams(s.global); err != nil {
+		return 0, fmt.Errorf("fl: evaluate load: %w", err)
+	}
+	var correctWeighted float64
+	var n int
+	err := s.test.Batches(256, func(x *mat.Matrix, y []int) error {
+		logits, err := s.eval.Forward(x)
+		if err != nil {
+			return err
+		}
+		acc, err := nn.Accuracy(logits, y)
+		if err != nil {
+			return err
+		}
+		correctWeighted += acc * float64(len(y))
+		n += len(y)
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("fl: evaluate: %w", err)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("fl: evaluate on empty test set")
+	}
+	return correctWeighted / float64(n), nil
+}

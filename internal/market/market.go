@@ -1,0 +1,185 @@
+// Package market tracks the economics of an edge-learning episode: the
+// parameter server's budget η, the per-round price/frequency/time records
+// that form the exterior agent's state history, and the time-efficiency
+// metric of Eqn. (16).
+package market
+
+import (
+	"fmt"
+
+	"chiron/internal/mat"
+)
+
+// Round is the complete record of one training round, the tuple
+// {ζ_k, p_k, T_k} the paper stores in the exterior state.
+type Round struct {
+	// Index is k, the 1-based round number.
+	Index int
+	// Prices is p_k: the per-node unit price posted this round.
+	Prices []float64
+	// Freqs is ζ_k: each node's chosen CPU frequency (0 = declined).
+	Freqs []float64
+	// Times is T_k's per-node vector: each node's round time (0 = declined).
+	Times []float64
+	// Payment is Σ p_{i,k}·ζ_{i,k}, the budget consumed.
+	Payment float64
+	// Accuracy is A(ω_k) after this round's aggregation.
+	Accuracy float64
+	// Participants counts nodes that joined the round.
+	Participants int
+}
+
+// RoundTime returns T_k = max_i T_{i,k}, the wall-clock length of the
+// round (0 when nobody participated).
+func (r *Round) RoundTime() float64 {
+	maxT, _ := mat.MaxVec(r.Times)
+	if maxT < 0 || len(r.Times) == 0 {
+		return 0
+	}
+	return maxT
+}
+
+// IdleTime returns Σ_{i=1}^{N} (T_k − T_{i,k}), the quantity the inner
+// reward (Eqn. 15) minimizes. The sum runs over all N nodes as the paper
+// writes it: a node that declined the round has T_{i,k}=0 and is idle for
+// the whole round, so starving nodes is penalized rather than rewarded.
+func (r *Round) IdleTime() float64 {
+	roundTime := r.RoundTime()
+	var idle float64
+	for _, t := range r.Times {
+		idle += roundTime - t
+	}
+	return idle
+}
+
+// TimeEfficiency returns Eqn. (16): Σ_{i=1}^{N} T_{i,k} / (N·T_k) — 1.0
+// means perfect time consistency. As in Eqn. (15), the sum covers all N
+// nodes, so declined rounds (T_{i,k}=0) drag efficiency down. It returns 0
+// for an empty round.
+func (r *Round) TimeEfficiency() float64 {
+	roundTime := r.RoundTime()
+	if roundTime <= 0 || len(r.Times) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range r.Times {
+		sum += t
+	}
+	return sum / (float64(len(r.Times)) * roundTime)
+}
+
+// Ledger enforces the budget constraint of OP_PS and accumulates round
+// records for an episode.
+type Ledger struct {
+	budget    float64
+	remaining float64
+	rounds    []Round
+	waste     float64
+}
+
+// NewLedger opens a ledger with total budget η.
+func NewLedger(budget float64) (*Ledger, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("market: budget %v, want > 0", budget)
+	}
+	return &Ledger{budget: budget, remaining: budget}, nil
+}
+
+// Budget returns the episode's total budget η.
+func (l *Ledger) Budget() float64 { return l.budget }
+
+// Remaining returns the unspent budget.
+func (l *Ledger) Remaining() float64 { return l.remaining }
+
+// Rounds returns the recorded rounds (shared slice; callers must not
+// mutate).
+func (l *Ledger) Rounds() []Round { return l.rounds }
+
+// NumRounds reports how many rounds have been recorded.
+func (l *Ledger) NumRounds() int { return len(l.rounds) }
+
+// ErrBudgetExhausted is returned by Commit when a round's payment exceeds
+// the remaining budget. Per Sec. V-A the round is discarded (not recorded)
+// and the episode must stop.
+var ErrBudgetExhausted = fmt.Errorf("market: budget exhausted")
+
+// Commit records a round and deducts its payment. If the payment would
+// drive the budget negative the round is rejected with ErrBudgetExhausted
+// and the ledger state is unchanged, matching the paper's stopping rule.
+func (l *Ledger) Commit(r Round) error {
+	if r.Payment < 0 {
+		return fmt.Errorf("market: negative payment %v", r.Payment)
+	}
+	if r.Payment > l.remaining {
+		return fmt.Errorf("%w: payment %.4f exceeds remaining %.4f", ErrBudgetExhausted, r.Payment, l.remaining)
+	}
+	l.remaining -= r.Payment
+	r.Index = len(l.rounds) + 1
+	l.rounds = append(l.rounds, r)
+	return nil
+}
+
+// AddWaste records wall-clock time the server lost without a training
+// round happening — e.g. an offer that attracted no participants timing
+// out. Waste counts toward TotalTime (and therefore the server utility)
+// but not toward the round history or time-efficiency statistics.
+func (l *Ledger) AddWaste(seconds float64) error {
+	if seconds < 0 {
+		return fmt.Errorf("market: negative waste %v", seconds)
+	}
+	l.waste += seconds
+	return nil
+}
+
+// WastedTime reports the accumulated non-training wall-clock time.
+func (l *Ledger) WastedTime() float64 { return l.waste }
+
+// Reset restores the full budget and clears the round history.
+func (l *Ledger) Reset() {
+	l.remaining = l.budget
+	l.rounds = l.rounds[:0]
+	l.waste = 0
+}
+
+// TotalSpent returns the budget consumed so far.
+func (l *Ledger) TotalSpent() float64 { return l.budget - l.remaining }
+
+// TotalTime returns Σ_k T_k across recorded rounds plus any wasted time,
+// the system metric in the server utility (Eqn. 9).
+func (l *Ledger) TotalTime() float64 {
+	sum := l.waste
+	for i := range l.rounds {
+		sum += l.rounds[i].RoundTime()
+	}
+	return sum
+}
+
+// MeanTimeEfficiency averages Eqn. (16) across recorded rounds (0 when no
+// rounds were recorded).
+func (l *Ledger) MeanTimeEfficiency() float64 {
+	if len(l.rounds) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range l.rounds {
+		sum += l.rounds[i].TimeEfficiency()
+	}
+	return sum / float64(len(l.rounds))
+}
+
+// FinalAccuracy returns A(ω_K) of the last recorded round, or 0 when the
+// episode recorded nothing.
+func (l *Ledger) FinalAccuracy() float64 {
+	if len(l.rounds) == 0 {
+		return 0
+	}
+	return l.rounds[len(l.rounds)-1].Accuracy
+}
+
+// ServerUtility returns Eqn. (9) with an explicit time weight:
+// u = λ·A(ω_K) − w·Σ_k T_k. The paper's Eqn. (9) has w=1 with time in the
+// task's natural unit; w is exposed because the reproduction keeps time in
+// seconds (see DESIGN.md).
+func (l *Ledger) ServerUtility(lambda, timeWeight float64) float64 {
+	return lambda*l.FinalAccuracy() - timeWeight*l.TotalTime()
+}

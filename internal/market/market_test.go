@@ -1,0 +1,208 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRound(prices, freqs, times []float64, payment, acc float64) Round {
+	parts := 0
+	for _, t := range times {
+		if t > 0 {
+			parts++
+		}
+	}
+	return Round{
+		Prices: prices, Freqs: freqs, Times: times,
+		Payment: payment, Accuracy: acc, Participants: parts,
+	}
+}
+
+func TestRoundTime(t *testing.T) {
+	r := sampleRound(nil, nil, []float64{10, 25, 15}, 1, 0.5)
+	if r.RoundTime() != 25 {
+		t.Fatalf("RoundTime = %v, want 25", r.RoundTime())
+	}
+	empty := Round{}
+	if empty.RoundTime() != 0 {
+		t.Fatalf("empty RoundTime = %v", empty.RoundTime())
+	}
+}
+
+func TestIdleTimeCountsAllNodes(t *testing.T) {
+	// Eqn. 15 sums over all N nodes; a declined node (T=0) is idle for the
+	// whole round.
+	r := sampleRound(nil, nil, []float64{20, 10, 0}, 1, 0.5)
+	want := (20.0 - 20) + (20 - 10) + (20 - 0)
+	if r.IdleTime() != want {
+		t.Fatalf("IdleTime = %v, want %v", r.IdleTime(), want)
+	}
+}
+
+func TestTimeEfficiencyEqn16(t *testing.T) {
+	r := sampleRound(nil, nil, []float64{20, 10, 0}, 1, 0.5)
+	want := 30.0 / (3 * 20)
+	if math.Abs(r.TimeEfficiency()-want) > 1e-12 {
+		t.Fatalf("TimeEfficiency = %v, want %v", r.TimeEfficiency(), want)
+	}
+	// Perfect consistency gives exactly 1.
+	perfect := sampleRound(nil, nil, []float64{7, 7, 7}, 1, 0.5)
+	if perfect.TimeEfficiency() != 1 {
+		t.Fatalf("perfect TimeEfficiency = %v", perfect.TimeEfficiency())
+	}
+	empty := Round{}
+	if empty.TimeEfficiency() != 0 {
+		t.Fatalf("empty TimeEfficiency = %v", empty.TimeEfficiency())
+	}
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	l, err := NewLedger(100)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	if l.Budget() != 100 || l.Remaining() != 100 || l.NumRounds() != 0 {
+		t.Fatal("fresh ledger state wrong")
+	}
+	r := sampleRound(nil, nil, []float64{10, 10}, 30, 0.6)
+	if err := l.Commit(r); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if l.Remaining() != 70 || l.TotalSpent() != 30 || l.NumRounds() != 1 {
+		t.Fatalf("post-commit: remaining %v spent %v rounds %d", l.Remaining(), l.TotalSpent(), l.NumRounds())
+	}
+	if l.Rounds()[0].Index != 1 {
+		t.Fatalf("round index %d, want 1", l.Rounds()[0].Index)
+	}
+	if l.FinalAccuracy() != 0.6 {
+		t.Fatalf("FinalAccuracy = %v", l.FinalAccuracy())
+	}
+}
+
+func TestLedgerRejectsOverrun(t *testing.T) {
+	l, err := NewLedger(50)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	if err := l.Commit(sampleRound(nil, nil, []float64{1}, 60, 0.5)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overrun error = %v, want ErrBudgetExhausted", err)
+	}
+	// The rejected round must not change state (Sec. V-A: discarded).
+	if l.Remaining() != 50 || l.NumRounds() != 0 {
+		t.Fatal("rejected round mutated the ledger")
+	}
+}
+
+func TestLedgerRejectsNegativePayment(t *testing.T) {
+	l, _ := NewLedger(50)
+	if err := l.Commit(sampleRound(nil, nil, []float64{1}, -1, 0.5)); err == nil {
+		t.Fatal("accepted negative payment")
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	if _, err := NewLedger(0); err == nil {
+		t.Fatal("accepted zero budget")
+	}
+	if _, err := NewLedger(-5); err == nil {
+		t.Fatal("accepted negative budget")
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l, _ := NewLedger(100)
+	if err := l.Commit(sampleRound(nil, nil, []float64{5}, 40, 0.7)); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	l.Reset()
+	if l.Remaining() != 100 || l.NumRounds() != 0 || l.FinalAccuracy() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestLedgerAggregates(t *testing.T) {
+	l, _ := NewLedger(100)
+	rounds := []Round{
+		sampleRound(nil, nil, []float64{10, 20}, 10, 0.5),
+		sampleRound(nil, nil, []float64{15, 15}, 20, 0.8),
+	}
+	for _, r := range rounds {
+		if err := l.Commit(r); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if l.TotalTime() != 35 { // max(10,20) + max(15,15)
+		t.Fatalf("TotalTime = %v, want 35", l.TotalTime())
+	}
+	wantEff := ((30.0 / 40) + 1.0) / 2
+	if math.Abs(l.MeanTimeEfficiency()-wantEff) > 1e-12 {
+		t.Fatalf("MeanTimeEfficiency = %v, want %v", l.MeanTimeEfficiency(), wantEff)
+	}
+	// Eqn. 9 with explicit weight: u = λA − w·ΣT.
+	want := 2000*0.8 - 0.5*35
+	if math.Abs(l.ServerUtility(2000, 0.5)-want) > 1e-12 {
+		t.Fatalf("ServerUtility = %v, want %v", l.ServerUtility(2000, 0.5), want)
+	}
+}
+
+func TestEmptyLedgerAggregates(t *testing.T) {
+	l, _ := NewLedger(100)
+	if l.MeanTimeEfficiency() != 0 || l.TotalTime() != 0 || l.FinalAccuracy() != 0 {
+		t.Fatal("empty ledger aggregates nonzero")
+	}
+}
+
+// Property (conservation): after any sequence of commits,
+// remaining + Σ payments == budget, and remaining >= 0.
+func TestLedgerConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 1 + rng.Float64()*100
+		l, err := NewLedger(budget)
+		if err != nil {
+			return false
+		}
+		var paid float64
+		for i := 0; i < 50; i++ {
+			payment := rng.Float64() * budget / 10
+			r := sampleRound(nil, nil, []float64{rng.Float64() * 10}, payment, rng.Float64())
+			err := l.Commit(r)
+			if errors.Is(err, ErrBudgetExhausted) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			paid += payment
+		}
+		return math.Abs(l.Remaining()+paid-budget) < 1e-9 && l.Remaining() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time efficiency is always in [0,1].
+func TestTimeEfficiencyBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		times := make([]float64, n)
+		for i := range times {
+			if rng.Float64() < 0.3 {
+				times[i] = 0 // declined
+			} else {
+				times[i] = rng.Float64() * 50
+			}
+		}
+		r := sampleRound(nil, nil, times, 1, 0.5)
+		eff := r.TimeEfficiency()
+		return eff >= 0 && eff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package mat provides the dense float64 matrix and vector kernels used by
+// the neural-network, reinforcement-learning, and federated-learning layers
+// of the Chiron reproduction. It is deliberately small: row-major dense
+// matrices, the handful of BLAS-like routines the upper layers need, and
+// deterministic random initialization driven by an explicit *rand.Rand.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrShape is returned (wrapped) by operations whose operands have
+// incompatible dimensions.
+var ErrShape = errors.New("mat: shape mismatch")
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix; use New or NewFromData to construct a
+// usable one. Methods never retain caller-provided slices unless documented.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		rows, cols = 0, 0
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromData returns a rows×cols matrix backed by a copy of data.
+// It returns an error if len(data) != rows*cols.
+func NewFromData(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: %d values for %dx%d matrix", ErrShape, len(data), rows, cols)
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	return &Matrix{rows: rows, cols: cols, data: cp}, nil
+}
+
+// Rows reports the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Size reports the total number of elements.
+func (m *Matrix) Size() int { return len(m.data) }
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.data[r*m.cols+c] }
+
+// Set assigns v to the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.data[r*m.cols+c] = v }
+
+// Data exposes the underlying row-major backing slice. Mutating it mutates
+// the matrix; callers that need isolation should use Clone.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns a view of row r (shared backing array).
+func (m *Matrix) Row(r int) []float64 { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	cp := New(m.rows, m.cols)
+	copy(cp.data, m.data)
+	return cp
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// CopyFrom copies src into m. The shapes must match exactly.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return fmt.Errorf("%w: copy %dx%d into %dx%d", ErrShape, src.rows, src.cols, m.rows, m.cols)
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
+// Randomize fills m with uniform values in [-scale, scale) drawn from rng.
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.data {
+		m.data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// RandomizeNormal fills m with N(0, std²) values drawn from rng.
+func (m *Matrix) RandomizeNormal(rng *rand.Rand, std float64) {
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64() * std
+	}
+}
+
+// XavierInit fills m using Glorot/Xavier uniform initialization for a layer
+// with the given fan-in and fan-out.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.Randomize(rng, limit)
+}
+
+// HeInit fills m using He/Kaiming normal initialization for ReLU networks.
+func (m *Matrix) HeInit(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	m.RandomizeNormal(rng, std)
+}
+
+// Mul computes dst = a × b and returns dst. If dst is nil a new matrix is
+// allocated. dst must not alias a or b.
+func Mul(dst, a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == nil {
+		dst = New(a.rows, b.cols)
+	} else if dst.rows != a.rows || dst.cols != b.cols {
+		return nil, fmt.Errorf("%w: mul dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	dst.Zero()
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst, nil
+}
+
+// MulTransB computes dst = a × bᵀ and returns dst.
+func MulTransB(dst, a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.cols {
+		return nil, fmt.Errorf("%w: mulTransB %dx%d by (%dx%d)T", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == nil {
+		dst = New(a.rows, b.rows)
+	} else if dst.rows != a.rows || dst.cols != b.rows {
+		return nil, fmt.Errorf("%w: mulTransB dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.rows)
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			dst.data[i*dst.cols+j] = sum
+		}
+	}
+	return dst, nil
+}
+
+// MulTransA computes dst = aᵀ × b and returns dst.
+func MulTransA(dst, a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: mulTransA (%dx%d)T by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == nil {
+		dst = New(a.cols, b.cols)
+	} else if dst.rows != a.cols || dst.cols != b.cols {
+		return nil, fmt.Errorf("%w: mulTransA dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.cols, b.cols)
+	}
+	dst.Zero()
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Add computes dst = a + b elementwise and returns dst.
+func Add(dst, a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == nil {
+		dst = New(a.rows, a.cols)
+	} else if dst.rows != a.rows || dst.cols != a.cols {
+		return nil, fmt.Errorf("%w: add dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, a.cols)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return dst, nil
+}
+
+// Sub computes dst = a − b elementwise and returns dst.
+func Sub(dst, a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == nil {
+		dst = New(a.rows, a.cols)
+	} else if dst.rows != a.rows || dst.cols != a.cols {
+		return nil, fmt.Errorf("%w: sub dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, a.cols)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return dst, nil
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func AddRowVector(m *Matrix, v []float64) error {
+	if len(v) != m.cols {
+		return fmt.Errorf("%w: row vector len %d for %d cols", ErrShape, len(v), m.cols)
+	}
+	for r := 0; r < m.rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += v[c]
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddScaled performs m += s·other in place (axpy).
+func (m *Matrix) AddScaled(other *Matrix, s float64) error {
+	if m.rows != other.rows || m.cols != other.cols {
+		return fmt.Errorf("%w: addScaled %dx%d and %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	for i, v := range other.data {
+		m.data[i] += s * v
+	}
+	return nil
+}
+
+// Apply replaces each element x of m with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+}
+
+// SumRows sums each column across rows, returning a length-Cols slice.
+func (m *Matrix) SumRows() []float64 {
+	out := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// MaxNorm returns the largest absolute element of m (0 for empty matrices).
+func (m *Matrix) MaxNorm() float64 {
+	var best float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var sum float64
+	for _, v := range m.data {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}

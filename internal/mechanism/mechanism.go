@@ -1,0 +1,86 @@
+// Package mechanism defines the common contract every incentive mechanism
+// in the reproduction satisfies — Chiron's hierarchical agent and the two
+// comparison approaches (DRL-based, Greedy) — so the experiment harness can
+// train and evaluate them interchangeably.
+package mechanism
+
+import "chiron/internal/edgeenv"
+
+// EpisodeResult summarizes one edge-learning episode (one full budget η).
+type EpisodeResult struct {
+	// Episode is the 1-based episode index within a training run.
+	Episode int
+	// Rounds is K, the number of committed training rounds.
+	Rounds int
+	// FinalAccuracy is A(ω_K) of the last committed round.
+	FinalAccuracy float64
+	// ExteriorReturn is Σ_k r^E_k (undiscounted).
+	ExteriorReturn float64
+	// DiscountedReturn is Σ_k γ^{k−1}·r^E_k with the paper's γ=0.95 — the
+	// objective the DRL agents actually optimize and the quantity plotted
+	// in the convergence figures.
+	DiscountedReturn float64
+	// InnerReturn is Σ_k r^I_k (the negative total idle time).
+	InnerReturn float64
+	// TimeEfficiency is the mean of Eqn. (16) across rounds.
+	TimeEfficiency float64
+	// TotalTime is Σ_k T_k in seconds.
+	TotalTime float64
+	// BudgetSpent is the payment total across rounds.
+	BudgetSpent float64
+	// ServerUtility is Eqn. (9): λ·A(ω_K) − Σ_k T_k.
+	ServerUtility float64
+}
+
+// Mechanism is an incentive mechanism controlling an edge-learning
+// environment. Implementations are stateful learners: RunEpisode with
+// train=true both acts and updates; with train=false it acts greedily
+// without touching learner state.
+type Mechanism interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Env returns the environment the mechanism controls.
+	Env() *edgeenv.Env
+	// RunEpisode plays one full episode and returns its summary.
+	RunEpisode(train bool) (EpisodeResult, error)
+}
+
+// ReturnGamma is the discount used for DiscountedReturn (paper Sec. VI-A).
+const ReturnGamma = 0.95
+
+// Returns accumulates the exterior reward stream of one episode in both
+// undiscounted and γ-discounted form.
+type Returns struct {
+	Undiscounted float64
+	Discounted   float64
+	factor       float64
+}
+
+// NewReturns starts an accumulator at discount factor γ⁰=1.
+func NewReturns() *Returns { return &Returns{factor: 1} }
+
+// Add folds one round's exterior reward into both sums.
+func (r *Returns) Add(reward float64) {
+	r.Undiscounted += reward
+	r.Discounted += r.factor * reward
+	r.factor *= ReturnGamma
+}
+
+// Summarize extracts an EpisodeResult from the environment ledger after an
+// episode finishes. episode is the caller's episode counter; the reward
+// sums come from the caller because they are mechanism-specific.
+func Summarize(env *edgeenv.Env, episode int, ext *Returns, innReturn float64) EpisodeResult {
+	ledger := env.Ledger()
+	return EpisodeResult{
+		Episode:          episode,
+		Rounds:           ledger.NumRounds(),
+		FinalAccuracy:    ledger.FinalAccuracy(),
+		ExteriorReturn:   ext.Undiscounted,
+		DiscountedReturn: ext.Discounted,
+		InnerReturn:      innReturn,
+		TimeEfficiency:   ledger.MeanTimeEfficiency(),
+		TotalTime:        ledger.TotalTime(),
+		BudgetSpent:      ledger.TotalSpent(),
+		ServerUtility:    ledger.ServerUtility(env.Config().Lambda, env.Config().TimeWeight),
+	}
+}

@@ -1,0 +1,49 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReturnsAccumulator(t *testing.T) {
+	r := NewReturns()
+	r.Add(10)
+	r.Add(10)
+	r.Add(10)
+	if r.Undiscounted != 30 {
+		t.Fatalf("undiscounted %v, want 30", r.Undiscounted)
+	}
+	want := 10 * (1 + ReturnGamma + ReturnGamma*ReturnGamma)
+	if math.Abs(r.Discounted-want) > 1e-12 {
+		t.Fatalf("discounted %v, want %v", r.Discounted, want)
+	}
+}
+
+func TestReturnsGammaIsPaperValue(t *testing.T) {
+	if ReturnGamma != 0.95 {
+		t.Fatalf("gamma %v, want the paper's 0.95", ReturnGamma)
+	}
+}
+
+func TestReturnsEmpty(t *testing.T) {
+	r := NewReturns()
+	if r.Undiscounted != 0 || r.Discounted != 0 {
+		t.Fatal("fresh accumulator nonzero")
+	}
+}
+
+func TestReturnsDiscountedBounded(t *testing.T) {
+	// For constant positive rewards the discounted sum is bounded by
+	// r/(1−γ) while the undiscounted sum grows linearly.
+	r := NewReturns()
+	for i := 0; i < 10000; i++ {
+		r.Add(1)
+	}
+	bound := 1 / (1 - ReturnGamma)
+	if r.Discounted > bound+1e-9 {
+		t.Fatalf("discounted %v exceeds geometric bound %v", r.Discounted, bound)
+	}
+	if r.Undiscounted != 10000 {
+		t.Fatalf("undiscounted %v", r.Undiscounted)
+	}
+}

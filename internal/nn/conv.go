@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/mat"
+)
+
+// Shape3 describes a channels×height×width tensor layout for image batches
+// stored one flattened sample per matrix row (channel-major).
+type Shape3 struct {
+	C, H, W int
+}
+
+// Size returns the flattened element count.
+func (s Shape3) Size() int { return s.C * s.H * s.W }
+
+// Conv2D is a valid-padding, stride-1 2-D convolution layer, the building
+// block of the paper's MNIST CNN and LeNet workloads.
+type Conv2D struct {
+	in      Shape3
+	outC    int
+	k       int   // square kernel size
+	w       Param // shape (outC, inC*k*k)
+	b       Param // shape (1, outC)
+	lastCol *mat.Matrix
+	lastN   int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns a Conv2D layer with He-initialized kernels. in is the
+// input tensor shape, outC the number of output channels, and k the square
+// kernel size. Valid padding, stride 1.
+func NewConv2D(rng *rand.Rand, in Shape3, outC, k int) (*Conv2D, error) {
+	if in.H < k || in.W < k {
+		return nil, fmt.Errorf("nn: conv2d: input %dx%d smaller than kernel %d", in.H, in.W, k)
+	}
+	c := &Conv2D{
+		in:   in,
+		outC: outC,
+		k:    k,
+		w:    Param{Value: mat.New(outC, in.C*k*k), Grad: mat.New(outC, in.C*k*k)},
+		b:    Param{Value: mat.New(1, outC), Grad: mat.New(1, outC)},
+	}
+	c.w.Value.HeInit(rng, in.C*k*k)
+	return c, nil
+}
+
+// OutShape reports the output tensor shape.
+func (c *Conv2D) OutShape() Shape3 {
+	return Shape3{C: c.outC, H: c.in.H - c.k + 1, W: c.in.W - c.k + 1}
+}
+
+// im2col unrolls the batch so each output pixel becomes a row of receptive-
+// field values; the convolution is then a single GEMM against the kernels.
+func (c *Conv2D) im2col(x *mat.Matrix) *mat.Matrix {
+	out := c.OutShape()
+	n := x.Rows()
+	cols := mat.New(n*out.H*out.W, c.in.C*c.k*c.k)
+	for s := 0; s < n; s++ {
+		img := x.Row(s)
+		for oy := 0; oy < out.H; oy++ {
+			for ox := 0; ox < out.W; ox++ {
+				row := cols.Row((s*out.H+oy)*out.W + ox)
+				idx := 0
+				for ch := 0; ch < c.in.C; ch++ {
+					base := ch * c.in.H * c.in.W
+					for ky := 0; ky < c.k; ky++ {
+						src := base + (oy+ky)*c.in.W + ox
+						copy(row[idx:idx+c.k], img[src:src+c.k])
+						idx += c.k
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != c.in.Size() {
+		return nil, fmt.Errorf("nn: conv2d forward: input width %d, want %d", x.Cols(), c.in.Size())
+	}
+	out := c.OutShape()
+	n := x.Rows()
+	cols := c.im2col(x)
+	c.lastCol = cols
+	c.lastN = n
+	// prod has one row per output pixel, one column per output channel.
+	prod, err := mat.MulTransB(nil, cols, c.w.Value)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv2d forward gemm: %w", err)
+	}
+	bias := c.b.Value.Row(0)
+	y := mat.New(n, out.Size())
+	for s := 0; s < n; s++ {
+		dst := y.Row(s)
+		for oy := 0; oy < out.H; oy++ {
+			for ox := 0; ox < out.W; ox++ {
+				src := prod.Row((s*out.H+oy)*out.W + ox)
+				for ch := 0; ch < out.C; ch++ {
+					dst[ch*out.H*out.W+oy*out.W+ox] = src[ch] + bias[ch]
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	if c.lastCol == nil {
+		return nil, fmt.Errorf("nn: conv2d backward before forward")
+	}
+	out := c.OutShape()
+	n := c.lastN
+	if grad.Rows() != n || grad.Cols() != out.Size() {
+		return nil, fmt.Errorf("nn: conv2d backward: grad %dx%d, want %dx%d", grad.Rows(), grad.Cols(), n, out.Size())
+	}
+	// Re-layout grad to pixel-major rows matching the im2col product.
+	gp := mat.New(n*out.H*out.W, out.C)
+	biasGrad := c.b.Grad.Row(0)
+	for s := 0; s < n; s++ {
+		src := grad.Row(s)
+		for oy := 0; oy < out.H; oy++ {
+			for ox := 0; ox < out.W; ox++ {
+				dst := gp.Row((s*out.H+oy)*out.W + ox)
+				for ch := 0; ch < out.C; ch++ {
+					v := src[ch*out.H*out.W+oy*out.W+ox]
+					dst[ch] = v
+					biasGrad[ch] += v
+				}
+			}
+		}
+	}
+	// dW += gpᵀ·cols
+	dw, err := mat.MulTransA(nil, gp, c.lastCol)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv2d backward dW: %w", err)
+	}
+	if err := c.w.Grad.AddScaled(dw, 1); err != nil {
+		return nil, fmt.Errorf("nn: conv2d backward accumulate dW: %w", err)
+	}
+	// dcols = gp·W, then fold back (col2im) into the input layout.
+	dcols, err := mat.Mul(nil, gp, c.w.Value)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv2d backward dcols: %w", err)
+	}
+	dx := mat.New(n, c.in.Size())
+	for s := 0; s < n; s++ {
+		img := dx.Row(s)
+		for oy := 0; oy < out.H; oy++ {
+			for ox := 0; ox < out.W; ox++ {
+				row := dcols.Row((s*out.H+oy)*out.W + ox)
+				idx := 0
+				for ch := 0; ch < c.in.C; ch++ {
+					base := ch * c.in.H * c.in.W
+					for ky := 0; ky < c.k; ky++ {
+						dst := base + (oy+ky)*c.in.W + ox
+						for kx := 0; kx < c.k; kx++ {
+							img[dst+kx] += row[idx]
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []Param { return []Param{c.w, c.b} }
+
+// MaxPool2D is a non-overlapping 2×2-style max-pooling layer with square
+// window and stride equal to the window size.
+type MaxPool2D struct {
+	in      Shape3
+	size    int
+	lastArg []int // argmax input index per output element, batch-flattened
+	lastN   int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max-pool layer over windows of size×size. The
+// input height and width must be divisible by size.
+func NewMaxPool2D(in Shape3, size int) (*MaxPool2D, error) {
+	if size <= 0 || in.H%size != 0 || in.W%size != 0 {
+		return nil, fmt.Errorf("nn: maxpool: input %dx%d not divisible by window %d", in.H, in.W, size)
+	}
+	return &MaxPool2D{in: in, size: size}, nil
+}
+
+// OutShape reports the output tensor shape.
+func (p *MaxPool2D) OutShape() Shape3 {
+	return Shape3{C: p.in.C, H: p.in.H / p.size, W: p.in.W / p.size}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != p.in.Size() {
+		return nil, fmt.Errorf("nn: maxpool forward: input width %d, want %d", x.Cols(), p.in.Size())
+	}
+	out := p.OutShape()
+	n := x.Rows()
+	y := mat.New(n, out.Size())
+	p.lastArg = make([]int, n*out.Size())
+	p.lastN = n
+	for s := 0; s < n; s++ {
+		img := x.Row(s)
+		dst := y.Row(s)
+		for ch := 0; ch < p.in.C; ch++ {
+			base := ch * p.in.H * p.in.W
+			for oy := 0; oy < out.H; oy++ {
+				for ox := 0; ox < out.W; ox++ {
+					bestIdx := base + oy*p.size*p.in.W + ox*p.size
+					best := img[bestIdx]
+					for wy := 0; wy < p.size; wy++ {
+						for wx := 0; wx < p.size; wx++ {
+							idx := base + (oy*p.size+wy)*p.in.W + ox*p.size + wx
+							if img[idx] > best {
+								best, bestIdx = img[idx], idx
+							}
+						}
+					}
+					oidx := ch*out.H*out.W + oy*out.W + ox
+					dst[oidx] = best
+					p.lastArg[s*out.Size()+oidx] = bestIdx
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	if p.lastArg == nil {
+		return nil, fmt.Errorf("nn: maxpool backward before forward")
+	}
+	out := p.OutShape()
+	if grad.Rows() != p.lastN || grad.Cols() != out.Size() {
+		return nil, fmt.Errorf("nn: maxpool backward: grad %dx%d, want %dx%d", grad.Rows(), grad.Cols(), p.lastN, out.Size())
+	}
+	dx := mat.New(p.lastN, p.in.Size())
+	for s := 0; s < p.lastN; s++ {
+		g := grad.Row(s)
+		d := dx.Row(s)
+		for i, v := range g {
+			d[p.lastArg[s*out.Size()+i]] += v
+		}
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []Param { return nil }

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/mat"
+)
+
+// Dropout randomly zeroes activations during training with probability
+// Rate, scaling survivors by 1/(1−Rate) (inverted dropout) so evaluation
+// needs no rescaling. Call SetTraining(false) for deterministic inference.
+type Dropout struct {
+	rate     float64
+	rng      *rand.Rand
+	training bool
+	lastMask *mat.Matrix
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with the given drop probability in
+// [0,1). The layer starts in training mode.
+func NewDropout(rng *rand.Rand, rate float64) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate %v outside [0,1)", rate)
+	}
+	return &Dropout{rate: rate, rng: rng, training: true}, nil
+}
+
+// SetTraining toggles between stochastic (training) and identity
+// (evaluation) behaviour.
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Training reports the current mode.
+func (d *Dropout) Training() bool { return d.training }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if !d.training || d.rate == 0 {
+		d.lastMask = nil
+		return x, nil
+	}
+	keep := 1 - d.rate
+	scale := 1 / keep
+	mask := mat.New(x.Rows(), x.Cols())
+	y := mat.New(x.Rows(), x.Cols())
+	md, yd, xd := mask.Data(), y.Data(), x.Data()
+	for i := range xd {
+		if d.rng.Float64() < keep {
+			md[i] = scale
+			yd[i] = xd[i] * scale
+		}
+	}
+	d.lastMask = mask
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	if d.lastMask == nil {
+		return grad, nil
+	}
+	if grad.Rows() != d.lastMask.Rows() || grad.Cols() != d.lastMask.Cols() {
+		return nil, fmt.Errorf("nn: dropout backward: grad %dx%d mask %dx%d",
+			grad.Rows(), grad.Cols(), d.lastMask.Rows(), d.lastMask.Cols())
+	}
+	dx := grad.Clone()
+	md, xd := d.lastMask.Data(), dx.Data()
+	for i := range xd {
+		xd[i] *= md[i]
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []Param { return nil }
+
+// SetTrainingMode walks a network and switches every mode-aware layer
+// (currently Dropout) between training and evaluation behaviour.
+func SetTrainingMode(n *Network, training bool) {
+	for _, l := range n.Layers() {
+		if d, ok := l.(*Dropout); ok {
+			d.SetTraining(training)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"chiron/internal/mat"
+)
+
+func TestDropoutValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDropout(rng, 1.0); err == nil {
+		t.Fatal("accepted rate 1.0")
+	}
+	if _, err := NewDropout(rng, -0.1); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+func TestDropoutTrainingMasksAndScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := NewDropout(rng, 0.5)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
+	x := mat.New(10, 100)
+	x.Fill(1)
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	var zeros, scaled int
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1-0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatalf("dropout degenerate: %d zeros, %d scaled", zeros, scaled)
+	}
+	// Inverted dropout keeps the expectation: survivors ≈ half, scaled ×2.
+	frac := float64(zeros) / float64(len(y.Data()))
+	if math.Abs(frac-0.5) > 0.08 {
+		t.Fatalf("drop fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := NewDropout(rng, 0.5)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
+	d.SetTraining(false)
+	x := mat.New(2, 4)
+	x.Randomize(rng, 1)
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	for i, v := range y.Data() {
+		if v != x.Data()[i] {
+			t.Fatal("eval-mode dropout modified values")
+		}
+	}
+}
+
+func TestDropoutBackwardUsesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDropout(rng, 0.5)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
+	x := mat.New(1, 50)
+	x.Fill(1)
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	grad := mat.New(1, 50)
+	grad.Fill(1)
+	dx, err := d.Backward(grad)
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	// Gradient must flow exactly where activations flowed, with the same
+	// scale.
+	for i := range dx.Data() {
+		if (y.Data()[i] == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("gradient mask disagrees with forward mask")
+		}
+		if y.Data()[i] != 0 && dx.Data()[i] != 2 {
+			t.Fatalf("gradient scale %v, want 2", dx.Data()[i])
+		}
+	}
+}
+
+func TestSetTrainingModeWalksNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	drop, err := NewDropout(rng, 0.3)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
+	net := NewNetwork(NewDense(rng, 4, 4), drop, NewDense(rng, 4, 2))
+	SetTrainingMode(net, false)
+	if drop.Training() {
+		t.Fatal("SetTrainingMode(false) did not reach the dropout layer")
+	}
+	SetTrainingMode(net, true)
+	if !drop.Training() {
+		t.Fatal("SetTrainingMode(true) did not reach the dropout layer")
+	}
+}
+
+func TestRMSPropReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net, _ := NewMLP(rng, ActTanh, 2, 8, 2)
+	x := mat.New(30, 2)
+	labels := make([]int, 30)
+	for i := range labels {
+		cls := i % 2
+		labels[i] = cls
+		x.Set(i, 0, float64(2*cls-1)+rng.NormFloat64()*0.3)
+		x.Set(i, 1, rng.NormFloat64()*0.3)
+	}
+	opt := NewRMSProp(net.Params(), 0.01)
+	if opt.LR() != 0.01 {
+		t.Fatalf("LR = %v", opt.LR())
+	}
+	opt.SetLR(0.02)
+	var first, last float64
+	for step := 0; step < 80; step++ {
+		logits, _ := net.Forward(x)
+		loss, grad, _ := SoftmaxCrossEntropy(logits, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.ZeroGrad()
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatalf("backward: %v", err)
+		}
+		if err := opt.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if last > first/4 {
+		t.Fatalf("RMSProp failed to learn: %v -> %v", first, last)
+	}
+}
+
+func TestModelStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _ := NewMLP(rng, ActReLU, 3, 5, 2)
+	b, _ := NewMLP(rng, ActReLU, 3, 5, 2)
+	if err := b.LoadState(a.State()); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	fa, fb := a.FlattenParams(), b.FlattenParams()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("state round trip lost values")
+		}
+	}
+}
+
+func TestModelStateShapeChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, _ := NewMLP(rng, ActReLU, 3, 5, 2)
+	wrong, _ := NewMLP(rng, ActReLU, 3, 6, 2)
+	if err := wrong.LoadState(a.State()); err == nil {
+		t.Fatal("loaded state across mismatched shapes")
+	}
+	if err := a.LoadState(nil); err == nil {
+		t.Fatal("loaded nil state")
+	}
+	// Corrupted tensor payload.
+	st := a.State()
+	st.Tensors[0].Data = st.Tensors[0].Data[:1]
+	if err := a.LoadState(st); err == nil {
+		t.Fatal("loaded truncated tensor")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, _ := NewMLP(rng, ActTanh, 4, 6, 3)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := a.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	b, _ := NewMLP(rng, ActTanh, 4, 6, 3)
+	if err := b.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	x := mat.New(2, 4)
+	x.Randomize(rng, 1)
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	for i := range ya.Data() {
+		if ya.Data()[i] != yb.Data()[i] {
+			t.Fatal("file round trip changed behaviour")
+		}
+	}
+	if err := b.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loaded missing file")
+	}
+}
+
+func TestDropoutInTrainingPipeline(t *testing.T) {
+	// A net with dropout must still learn (gradient check not applicable
+	// due to stochasticity, so assert loss reduction end to end).
+	rng := rand.New(rand.NewSource(10))
+	drop, err := NewDropout(rng, 0.2)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
+	net := NewNetwork(
+		NewDense(rng, 2, 16), NewActivate(ActReLU), drop,
+		NewDense(rng, 16, 2),
+	)
+	x := mat.New(40, 2)
+	labels := make([]int, 40)
+	for i := range labels {
+		cls := i % 2
+		labels[i] = cls
+		x.Set(i, 0, float64(2*cls-1)+rng.NormFloat64()*0.2)
+		x.Set(i, 1, rng.NormFloat64()*0.2)
+	}
+	opt := NewAdam(net.Params(), 0.02)
+	var first, last float64
+	for step := 0; step < 100; step++ {
+		logits, err := net.Forward(x)
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.ZeroGrad()
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatalf("backward: %v", err)
+		}
+		if err := opt.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if last > first/2 {
+		t.Fatalf("dropout net failed to learn: %v -> %v", first, last)
+	}
+}

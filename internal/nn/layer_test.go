@@ -1,0 +1,228 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/mat"
+)
+
+// numericGradCheck compares the analytic parameter gradients of a network
+// against central finite differences of a scalar loss.
+func numericGradCheck(t *testing.T, net *Network, x *mat.Matrix, labels []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		logits, err := net.Forward(x)
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		l, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		return l
+	}
+	// Analytic gradients.
+	logits, err := net.Forward(x)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	_, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	net.ZeroGrad()
+	if _, err := net.Backward(grad); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	const eps = 1e-5
+	for pi, p := range net.Params() {
+		data := p.Value.Data()
+		gd := p.Grad.Data()
+		// Check a subset of coordinates to keep the test fast.
+		step := len(data)/7 + 1
+		for i := 0; i < len(data); i += step {
+			orig := data[i]
+			data[i] = orig + eps
+			up := loss()
+			data[i] = orig - eps
+			down := loss()
+			data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-gd[i]) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d coord %d: analytic %v numeric %v", pi, i, gd[i], numeric)
+			}
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewMLP(rng, ActTanh, 6, 5, 3)
+	if err != nil {
+		t.Fatalf("NewMLP: %v", err)
+	}
+	x := mat.New(4, 6)
+	x.Randomize(rng, 1)
+	labels := []int{0, 1, 2, 1}
+	numericGradCheck(t, net, x, labels, 1e-4)
+}
+
+func TestReLUGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := NewMLP(rng, ActReLU, 5, 8, 3)
+	if err != nil {
+		t.Fatalf("NewMLP: %v", err)
+	}
+	x := mat.New(3, 5)
+	x.Randomize(rng, 1)
+	numericGradCheck(t, net, x, []int{2, 0, 1}, 1e-4)
+}
+
+func TestSigmoidGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(
+		NewDense(rng, 4, 6),
+		NewActivate(ActSigmoid),
+		NewDense(rng, 6, 2),
+	)
+	x := mat.New(3, 4)
+	x.Randomize(rng, 1)
+	numericGradCheck(t, net, x, []int{0, 1, 0}, 1e-4)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv, err := NewConv2D(rng, Shape3{C: 1, H: 6, W: 6}, 2, 3)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	pool, err := NewMaxPool2D(conv.OutShape(), 2)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	net := NewNetwork(conv, pool, NewActivate(ActReLU), NewDense(rng, pool.OutShape().Size(), 3))
+	x := mat.New(2, 36)
+	x.Randomize(rng, 1)
+	numericGradCheck(t, net, x, []int{1, 2}, 1e-3)
+}
+
+func TestDenseForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense(rng, 3, 2)
+	if d.In() != 3 || d.Out() != 2 {
+		t.Fatalf("dims %d/%d", d.In(), d.Out())
+	}
+	x := mat.New(4, 3)
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if y.Rows() != 4 || y.Cols() != 2 {
+		t.Fatalf("output %dx%d", y.Rows(), y.Cols())
+	}
+	if _, err := d.Forward(mat.New(1, 5)); err == nil {
+		t.Fatal("Forward accepted wrong width")
+	}
+}
+
+func TestBackwardBeforeForwardErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDense(rng, 2, 2)
+	if _, err := d.Backward(mat.New(1, 2)); err == nil {
+		t.Fatal("Dense.Backward before Forward should error")
+	}
+	a := NewActivate(ActReLU)
+	if _, err := a.Backward(mat.New(1, 2)); err == nil {
+		t.Fatal("Activate.Backward before Forward should error")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	cases := map[Activation]string{
+		ActReLU: "relu", ActTanh: "tanh", ActSigmoid: "sigmoid", ActIdentity: "identity",
+	}
+	for act, want := range cases {
+		if act.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", act, act.String(), want)
+		}
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	a := NewActivate(ActReLU)
+	x, _ := mat.NewFromData(1, 3, []float64{-1, 0, 2})
+	y, err := a.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	want := []float64{0, 0, 2}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("relu[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// Input must not be mutated.
+	if x.At(0, 0) != -1 {
+		t.Fatal("activation mutated its input")
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	pool, err := NewMaxPool2D(Shape3{C: 1, H: 2, W: 2}, 2)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	x, _ := mat.NewFromData(1, 4, []float64{1, 5, 3, 2})
+	y, err := pool.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if y.Cols() != 1 || y.At(0, 0) != 5 {
+		t.Fatalf("maxpool output %v", y.Data())
+	}
+	grad, _ := mat.NewFromData(1, 1, []float64{7})
+	dx, err := pool.Backward(grad)
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	want := []float64{0, 7, 0, 0}
+	for i, v := range dx.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool grad[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestMaxPoolRejectsIndivisible(t *testing.T) {
+	if _, err := NewMaxPool2D(Shape3{C: 1, H: 3, W: 4}, 2); err == nil {
+		t.Fatal("NewMaxPool2D accepted indivisible height")
+	}
+}
+
+func TestConvRejectsSmallInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := NewConv2D(rng, Shape3{C: 1, H: 2, W: 2}, 1, 3); err == nil {
+		t.Fatal("NewConv2D accepted input smaller than kernel")
+	}
+}
+
+func TestConvKnownValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	conv, err := NewConv2D(rng, Shape3{C: 1, H: 3, W: 3}, 1, 3)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	// Set kernel to all ones and bias to 0.5: output = sum(input) + 0.5.
+	conv.w.Value.Fill(1)
+	conv.b.Value.Fill(0.5)
+	x, _ := mat.NewFromData(1, 9, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	y, err := conv.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if y.Size() != 1 || math.Abs(y.At(0, 0)-45.5) > 1e-12 {
+		t.Fatalf("conv output = %v, want 45.5", y.Data())
+	}
+}

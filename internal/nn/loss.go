@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chiron/internal/mat"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss for a
+// batch of logits (one sample per row) against integer class labels, along
+// with the gradient of the loss with respect to the logits.
+//
+// The gradient is already divided by the batch size, so callers can feed it
+// straight into Network.Backward.
+func SoftmaxCrossEntropy(logits *mat.Matrix, labels []int) (loss float64, grad *mat.Matrix, err error) {
+	n := logits.Rows()
+	if n != len(labels) {
+		return 0, nil, fmt.Errorf("nn: cross-entropy: %d rows, %d labels", n, len(labels))
+	}
+	if n == 0 {
+		return 0, mat.New(0, logits.Cols()), nil
+	}
+	classes := logits.Cols()
+	grad = mat.New(n, classes)
+	probs := make([]float64, classes)
+	inv := 1 / float64(n)
+	for r := 0; r < n; r++ {
+		y := labels[r]
+		if y < 0 || y >= classes {
+			return 0, nil, fmt.Errorf("nn: cross-entropy: label %d out of range [0,%d)", y, classes)
+		}
+		row := logits.Row(r)
+		if _, err := mat.Softmax(probs, row); err != nil {
+			return 0, nil, fmt.Errorf("nn: cross-entropy softmax: %w", err)
+		}
+		p := probs[y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		g := grad.Row(r)
+		for c := 0; c < classes; c++ {
+			g[c] = probs[c] * inv
+		}
+		g[y] -= inv
+	}
+	return loss * inv, grad, nil
+}
+
+// MSE computes the mean squared error between pred and target along with
+// the gradient with respect to pred (already divided by the element count).
+func MSE(pred, target *mat.Matrix) (loss float64, grad *mat.Matrix, err error) {
+	if pred.Rows() != target.Rows() || pred.Cols() != target.Cols() {
+		return 0, nil, fmt.Errorf("nn: mse: pred %dx%d target %dx%d",
+			pred.Rows(), pred.Cols(), target.Rows(), target.Cols())
+	}
+	n := pred.Size()
+	grad = mat.New(pred.Rows(), pred.Cols())
+	if n == 0 {
+		return 0, grad, nil
+	}
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1 / float64(n)
+	for i := range pd {
+		d := pd[i] - td[i]
+		loss += d * d
+		gd[i] = 2 * d * inv
+	}
+	return loss * inv, grad, nil
+}
+
+// Accuracy reports the fraction of rows of logits whose argmax matches the
+// corresponding label.
+func Accuracy(logits *mat.Matrix, labels []int) (float64, error) {
+	n := logits.Rows()
+	if n != len(labels) {
+		return 0, fmt.Errorf("nn: accuracy: %d rows, %d labels", n, len(labels))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	var correct int
+	for r := 0; r < n; r++ {
+		_, idx := mat.MaxVec(logits.Row(r))
+		if idx == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n), nil
+}

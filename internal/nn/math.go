@@ -1,0 +1,15 @@
+package nn
+
+import "math"
+
+func mathTanh(v float64) float64 { return math.Tanh(v) }
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}

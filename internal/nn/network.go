@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/mat"
+)
+
+// Network is an ordered stack of layers trained end to end.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a network from the given layers in order.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: layers}
+}
+
+// NewMLP builds a multilayer perceptron with the given layer widths
+// (input, hidden..., output) and the same hidden activation between each
+// pair of Dense layers. The output layer is linear.
+func NewMLP(rng *rand.Rand, act Activation, widths ...int) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output widths, got %d", len(widths))
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(widths); i++ {
+		layers = append(layers, NewDense(rng, widths[i], widths[i+1]))
+		if i+2 < len(widths) {
+			layers = append(layers, NewActivate(act))
+		}
+	}
+	return NewNetwork(layers...), nil
+}
+
+// Layers returns the network's layers in forward order. The returned slice
+// is a copy; mutating it does not alter the network.
+func (n *Network) Layers() []Layer {
+	out := make([]Layer, len(n.layers))
+	copy(out, n.layers)
+	return out
+}
+
+// Forward runs a batch through every layer.
+func (n *Network) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	var err error
+	for i, l := range n.layers {
+		if x, err = l.Forward(x); err != nil {
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the output gradient back through every layer,
+// accumulating parameter gradients, and returns the input gradient.
+func (n *Network) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	var err error
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		if grad, err = n.layers[i].Backward(grad); err != nil {
+			return nil, fmt.Errorf("nn: layer %d backward: %w", i, err)
+		}
+	}
+	return grad, nil
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []Param {
+	var out []Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams reports the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	var total int
+	for _, p := range n.Params() {
+		total += p.Value.Size()
+	}
+	return total
+}
+
+// FlattenParams serializes all parameter values into a single vector, the
+// representation exchanged between edge nodes and the parameter server.
+func (n *Network) FlattenParams() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}
+
+// LoadParams overwrites all parameter values from a flat vector previously
+// produced by FlattenParams on an identically shaped network.
+func (n *Network) LoadParams(flat []float64) error {
+	if len(flat) != n.NumParams() {
+		return fmt.Errorf("nn: load %d params into network with %d", len(flat), n.NumParams())
+	}
+	off := 0
+	for _, p := range n.Params() {
+		d := p.Value.Data()
+		copy(d, flat[off:off+len(d)])
+		off += len(d)
+	}
+	return nil
+}
+
+// FlattenGrads serializes all gradients into a single vector.
+func (n *Network) FlattenGrads() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Grad.Data()...)
+	}
+	return out
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm.
+func (n *Network) ClipGradNorm(maxNorm float64) float64 {
+	var sq float64
+	params := n.Params()
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			sq += g * g
+		}
+	}
+	norm := sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

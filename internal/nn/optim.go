@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chiron/internal/mat"
+)
+
+// Optimizer applies accumulated gradients to a set of parameters.
+type Optimizer interface {
+	// Step applies one update using the current gradients. It does not
+	// clear gradients; call Network.ZeroGrad between steps.
+	Step() error
+	// SetLR changes the learning rate (used by decay schedules).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent with optional momentum, the
+// optimizer the paper's edge nodes use for local training.
+type SGD struct {
+	params   []Param
+	lr       float64
+	momentum float64
+	velocity []*mat.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer over params. momentum of 0 disables the
+// velocity term.
+func NewSGD(params []Param, lr, momentum float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([]*mat.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = mat.New(p.Value.Rows(), p.Value.Cols())
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() error {
+	for i, p := range s.params {
+		if s.momentum == 0 {
+			if err := p.Value.AddScaled(p.Grad, -s.lr); err != nil {
+				return fmt.Errorf("nn: sgd step: %w", err)
+			}
+			continue
+		}
+		v := s.velocity[i]
+		v.Scale(s.momentum)
+		if err := v.AddScaled(p.Grad, 1); err != nil {
+			return fmt.Errorf("nn: sgd momentum: %w", err)
+		}
+		if err := p.Value.AddScaled(v, -s.lr); err != nil {
+			return fmt.Errorf("nn: sgd step: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam implements the Adam optimizer used for the PPO actor and critic
+// networks.
+type Adam struct {
+	params []Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   []*mat.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with the standard β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(params []Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*mat.Matrix, len(params))
+	a.v = make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = mat.New(p.Value.Rows(), p.Value.Cols())
+		a.v[i] = mat.New(p.Value.Rows(), p.Value.Cols())
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() error {
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		md, vd := a.m[i].Data(), a.v[i].Data()
+		gd, pd := p.Grad.Data(), p.Value.Data()
+		if len(gd) != len(md) {
+			return fmt.Errorf("nn: adam step: param %d grad size %d state size %d", i, len(gd), len(md))
+		}
+		for j, g := range gd {
+			md[j] = a.beta1*md[j] + (1-a.beta1)*g
+			vd[j] = a.beta2*vd[j] + (1-a.beta2)*g*g
+			mhat := md[j] / bc1
+			vhat := vd[j] / bc2
+			pd[j] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+		}
+	}
+	return nil
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// ExpDecay multiplies the optimizer learning rate by factor every interval
+// steps, the paper's "decays by 95% every 20 episodes" schedule.
+type ExpDecay struct {
+	opt      Optimizer
+	factor   float64
+	interval int
+	count    int
+}
+
+// NewExpDecay wraps opt with an exponential decay schedule. interval must
+// be positive; factor is the multiplier applied at each boundary.
+func NewExpDecay(opt Optimizer, factor float64, interval int) (*ExpDecay, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("nn: exp decay interval %d, want > 0", interval)
+	}
+	return &ExpDecay{opt: opt, factor: factor, interval: interval}, nil
+}
+
+// Tick advances the schedule by one unit (an episode, in Chiron's usage)
+// and applies the decay when a boundary is crossed. It returns the learning
+// rate in force after the tick.
+func (e *ExpDecay) Tick() float64 {
+	e.count++
+	if e.count%e.interval == 0 {
+		e.opt.SetLR(e.opt.LR() * e.factor)
+	}
+	return e.opt.LR()
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chiron/internal/mat"
+)
+
+// RMSProp implements the RMSProp optimizer: per-coordinate learning rates
+// derived from an exponential moving average of squared gradients. It is
+// provided alongside SGD and Adam so users can reproduce alternative
+// training setups.
+type RMSProp struct {
+	params []Param
+	lr     float64
+	decay  float64
+	eps    float64
+	sq     []*mat.Matrix
+}
+
+var _ Optimizer = (*RMSProp)(nil)
+
+// NewRMSProp returns an RMSProp optimizer with the conventional decay of
+// 0.99 and ε=1e-8.
+func NewRMSProp(params []Param, lr float64) *RMSProp {
+	r := &RMSProp{params: params, lr: lr, decay: 0.99, eps: 1e-8}
+	r.sq = make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		r.sq[i] = mat.New(p.Value.Rows(), p.Value.Cols())
+	}
+	return r
+}
+
+// Step implements Optimizer.
+func (r *RMSProp) Step() error {
+	for i, p := range r.params {
+		sd := r.sq[i].Data()
+		gd, pd := p.Grad.Data(), p.Value.Data()
+		if len(gd) != len(sd) {
+			return fmt.Errorf("nn: rmsprop step: param %d grad size %d state size %d", i, len(gd), len(sd))
+		}
+		for j, g := range gd {
+			sd[j] = r.decay*sd[j] + (1-r.decay)*g*g
+			pd[j] -= r.lr * g / (math.Sqrt(sd[j]) + r.eps)
+		}
+	}
+	return nil
+}
+
+// SetLR implements Optimizer.
+func (r *RMSProp) SetLR(lr float64) { r.lr = lr }
+
+// LR implements Optimizer.
+func (r *RMSProp) LR() float64 { return r.lr }

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ModelState is a shape-checked serialization of a network's parameters:
+// one entry per parameter tensor with its dimensions, so loading into a
+// mismatched architecture fails loudly instead of silently misaligning.
+type ModelState struct {
+	Tensors []TensorState `json:"tensors"`
+}
+
+// TensorState is one parameter tensor's shape and values.
+type TensorState struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// State captures the network's current parameters.
+func (n *Network) State() *ModelState {
+	params := n.Params()
+	st := &ModelState{Tensors: make([]TensorState, len(params))}
+	for i, p := range params {
+		st.Tensors[i] = TensorState{
+			Rows: p.Value.Rows(),
+			Cols: p.Value.Cols(),
+			Data: append([]float64(nil), p.Value.Data()...),
+		}
+	}
+	return st
+}
+
+// LoadState overwrites the network's parameters from a state captured on
+// an identically shaped network.
+func (n *Network) LoadState(st *ModelState) error {
+	if st == nil {
+		return fmt.Errorf("nn: load nil state")
+	}
+	params := n.Params()
+	if len(st.Tensors) != len(params) {
+		return fmt.Errorf("nn: state has %d tensors, network has %d", len(st.Tensors), len(params))
+	}
+	for i, ts := range st.Tensors {
+		p := params[i]
+		if ts.Rows != p.Value.Rows() || ts.Cols != p.Value.Cols() {
+			return fmt.Errorf("nn: tensor %d is %dx%d, network wants %dx%d",
+				i, ts.Rows, ts.Cols, p.Value.Rows(), p.Value.Cols())
+		}
+		if len(ts.Data) != ts.Rows*ts.Cols {
+			return fmt.Errorf("nn: tensor %d has %d values for %dx%d", i, len(ts.Data), ts.Rows, ts.Cols)
+		}
+	}
+	// Validate-then-commit: nothing is written until every tensor checks.
+	for i, ts := range st.Tensors {
+		copy(params[i].Value.Data(), ts.Data)
+	}
+	return nil
+}
+
+// WriteState serializes the network's parameters as JSON to w.
+func (n *Network) WriteState(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(n.State()); err != nil {
+		return fmt.Errorf("nn: write state: %w", err)
+	}
+	return nil
+}
+
+// ReadState loads parameters from JSON previously written by WriteState.
+func (n *Network) ReadState(r io.Reader) error {
+	var st ModelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: read state: %w", err)
+	}
+	return n.LoadState(&st)
+}
+
+// SaveFile writes the network's parameters to path as JSON.
+func (n *Network) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("nn: close %s: %w", path, cerr)
+		}
+	}()
+	return n.WriteState(f)
+}
+
+// LoadFile reads parameters from a JSON file written by SaveFile.
+func (n *Network) LoadFile(path string) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("nn: close %s: %w", path, cerr)
+		}
+	}()
+	return n.ReadState(f)
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MNISTCNNParams is the trainable-parameter count of the paper's MNIST /
+// Fashion-MNIST CNN (two 5×5 conv layers with 10 and 20 channels, each
+// followed by 2×2 max pooling, then 320→50→10 dense layers).
+const MNISTCNNParams = 21840
+
+// LeNetParams is the trainable-parameter count of the paper's CIFAR-10
+// LeNet (5×5 convs with 6 and 16 channels, 400→120→84→10 dense head).
+const LeNetParams = 62006
+
+// NewMNISTCNN builds the exact CNN the paper trains on MNIST and
+// Fashion-MNIST: conv(1→10,5×5) → pool2 → relu → conv(10→20,5×5) → pool2 →
+// relu → dense(320→50) → relu → dense(50→10), 21,840 parameters.
+func NewMNISTCNN(rng *rand.Rand) (*Network, error) {
+	in := Shape3{C: 1, H: 28, W: 28}
+	conv1, err := NewConv2D(rng, in, 10, 5)
+	if err != nil {
+		return nil, fmt.Errorf("nn: mnist cnn conv1: %w", err)
+	}
+	pool1, err := NewMaxPool2D(conv1.OutShape(), 2)
+	if err != nil {
+		return nil, fmt.Errorf("nn: mnist cnn pool1: %w", err)
+	}
+	conv2, err := NewConv2D(rng, pool1.OutShape(), 20, 5)
+	if err != nil {
+		return nil, fmt.Errorf("nn: mnist cnn conv2: %w", err)
+	}
+	pool2, err := NewMaxPool2D(conv2.OutShape(), 2)
+	if err != nil {
+		return nil, fmt.Errorf("nn: mnist cnn pool2: %w", err)
+	}
+	flat := pool2.OutShape().Size()
+	net := NewNetwork(
+		conv1, pool1, NewActivate(ActReLU),
+		conv2, pool2, NewActivate(ActReLU),
+		NewDense(rng, flat, 50), NewActivate(ActReLU),
+		NewDense(rng, 50, 10),
+	)
+	if got := net.NumParams(); got != MNISTCNNParams {
+		return nil, fmt.Errorf("nn: mnist cnn has %d params, want %d", got, MNISTCNNParams)
+	}
+	return net, nil
+}
+
+// NewLeNet builds the paper's CIFAR-10 LeNet: conv(3→6,5×5) → pool2 → relu
+// → conv(6→16,5×5) → pool2 → relu → dense(400→120) → relu → dense(120→84)
+// → relu → dense(84→10), 62,006 parameters.
+func NewLeNet(rng *rand.Rand) (*Network, error) {
+	in := Shape3{C: 3, H: 32, W: 32}
+	conv1, err := NewConv2D(rng, in, 6, 5)
+	if err != nil {
+		return nil, fmt.Errorf("nn: lenet conv1: %w", err)
+	}
+	pool1, err := NewMaxPool2D(conv1.OutShape(), 2)
+	if err != nil {
+		return nil, fmt.Errorf("nn: lenet pool1: %w", err)
+	}
+	conv2, err := NewConv2D(rng, pool1.OutShape(), 16, 5)
+	if err != nil {
+		return nil, fmt.Errorf("nn: lenet conv2: %w", err)
+	}
+	pool2, err := NewMaxPool2D(conv2.OutShape(), 2)
+	if err != nil {
+		return nil, fmt.Errorf("nn: lenet pool2: %w", err)
+	}
+	flat := pool2.OutShape().Size()
+	net := NewNetwork(
+		conv1, pool1, NewActivate(ActReLU),
+		conv2, pool2, NewActivate(ActReLU),
+		NewDense(rng, flat, 120), NewActivate(ActReLU),
+		NewDense(rng, 120, 84), NewActivate(ActReLU),
+		NewDense(rng, 84, 10),
+	)
+	if got := net.NumParams(); got != LeNetParams {
+		return nil, fmt.Errorf("nn: lenet has %d params, want %d", got, LeNetParams)
+	}
+	return net, nil
+}
+
+// NewClassifierMLP builds a compact MLP classifier used with the downscaled
+// synthetic datasets, where full 28×28 CNN training would dominate the DRL
+// sweep wall-clock without changing the mechanism under study.
+func NewClassifierMLP(rng *rand.Rand, inputDim, hidden, classes int) (*Network, error) {
+	return NewMLP(rng, ActReLU, inputDim, hidden, classes)
+}

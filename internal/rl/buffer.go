@@ -1,0 +1,68 @@
+// Package rl implements the reinforcement-learning machinery of the
+// reproduction: diagonal-Gaussian stochastic policies over internal/nn
+// networks, episode trajectory buffers, and Proximal Policy Optimization
+// with the clipped surrogate objective — the algorithm both Chiron's
+// hierarchical agents and the DRL-based baseline train with.
+package rl
+
+import "fmt"
+
+// Transition is one (s, a, r, s', done) tuple plus the behavior policy's
+// log-probability of the action, needed for the PPO importance ratio.
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+	LogProb   float64
+}
+
+// Buffer accumulates the transitions of one or more episodes between PPO
+// updates — the experience replay buffers D^E and D^I of Algorithm 1.
+type Buffer struct {
+	transitions []Transition
+}
+
+// Add appends a transition.
+func (b *Buffer) Add(t Transition) {
+	b.transitions = append(b.transitions, t)
+}
+
+// Len reports the number of stored transitions.
+func (b *Buffer) Len() int { return len(b.transitions) }
+
+// Transitions returns the stored transitions (shared slice; callers must
+// not mutate).
+func (b *Buffer) Transitions() []Transition { return b.transitions }
+
+// Clear empties the buffer, retaining capacity.
+func (b *Buffer) Clear() { b.transitions = b.transitions[:0] }
+
+// MarkLastDone flags the most recent transition as terminal. Mechanisms
+// call this when the episode ends on the budget check: the attempted round
+// is discarded (Sec. V-A), so the last committed round was in fact the
+// final one and its value must not bootstrap into a phantom future.
+func (b *Buffer) MarkLastDone() {
+	if n := len(b.transitions); n > 0 {
+		b.transitions[n-1].Done = true
+	}
+}
+
+// Validate checks that all transitions have consistent dimensions.
+func (b *Buffer) Validate() error {
+	if len(b.transitions) == 0 {
+		return fmt.Errorf("rl: empty buffer")
+	}
+	sd := len(b.transitions[0].State)
+	ad := len(b.transitions[0].Action)
+	for i, t := range b.transitions {
+		if len(t.State) != sd || len(t.NextState) != sd {
+			return fmt.Errorf("rl: transition %d state dims %d/%d, want %d", i, len(t.State), len(t.NextState), sd)
+		}
+		if len(t.Action) != ad {
+			return fmt.Errorf("rl: transition %d action dim %d, want %d", i, len(t.Action), ad)
+		}
+	}
+	return nil
+}

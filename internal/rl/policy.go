@@ -1,0 +1,194 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiron/internal/mat"
+	"chiron/internal/nn"
+)
+
+const (
+	logStdMin = -5.0
+	logStdMax = 2.0
+	// log(2π), the Gaussian log-density constant.
+	log2Pi = 1.8378770664093453
+)
+
+// GaussianPolicy is a diagonal-Gaussian stochastic policy π_θ(a|s) =
+// N(μ_θ(s), diag(exp(logσ)²)) with a state-independent learnable log
+// standard deviation. Actions are sampled in unbounded pre-squash space;
+// callers map them into the environment's action set (sigmoid to a price
+// range, softmax to the allocation simplex) — a deterministic transform
+// that leaves the policy-gradient estimator unchanged.
+type GaussianPolicy struct {
+	net       *nn.Network
+	logStd    nn.Param
+	actionDim int
+}
+
+// NewGaussianPolicy builds a policy whose mean network is an MLP with the
+// given hidden widths and tanh activations (the conventional PPO trunk).
+func NewGaussianPolicy(rng *rand.Rand, stateDim, actionDim int, hidden []int, initLogStd float64) (*GaussianPolicy, error) {
+	if stateDim <= 0 || actionDim <= 0 {
+		return nil, fmt.Errorf("rl: policy dims state=%d action=%d", stateDim, actionDim)
+	}
+	widths := append(append([]int{stateDim}, hidden...), actionDim)
+	net, err := nn.NewMLP(rng, nn.ActTanh, widths...)
+	if err != nil {
+		return nil, fmt.Errorf("rl: policy network: %w", err)
+	}
+	p := &GaussianPolicy{
+		net:       net,
+		actionDim: actionDim,
+		logStd:    nn.Param{Value: mat.New(1, actionDim), Grad: mat.New(1, actionDim)},
+	}
+	p.logStd.Value.Fill(mat.Clamp(initLogStd, logStdMin, logStdMax))
+	return p, nil
+}
+
+// ActionDim reports the action dimensionality.
+func (p *GaussianPolicy) ActionDim() int { return p.actionDim }
+
+// Params returns the mean network's parameters plus the log-std vector, in
+// a stable order for the optimizer.
+func (p *GaussianPolicy) Params() []nn.Param {
+	return append(p.net.Params(), p.logStd)
+}
+
+// ZeroGrad clears all parameter gradients.
+func (p *GaussianPolicy) ZeroGrad() {
+	p.net.ZeroGrad()
+	p.logStd.Grad.Zero()
+}
+
+// ClampLogStd keeps the log standard deviation inside a numerically safe
+// band; call after each optimizer step.
+func (p *GaussianPolicy) ClampLogStd() {
+	d := p.logStd.Value.Data()
+	for i, v := range d {
+		d[i] = mat.Clamp(v, logStdMin, logStdMax)
+	}
+}
+
+// Mean runs the mean network on a single state.
+func (p *GaussianPolicy) Mean(state []float64) ([]float64, error) {
+	x, err := mat.NewFromData(1, len(state), state)
+	if err != nil {
+		return nil, fmt.Errorf("rl: policy mean: %w", err)
+	}
+	out, err := p.net.Forward(x)
+	if err != nil {
+		return nil, fmt.Errorf("rl: policy mean: %w", err)
+	}
+	return mat.CloneVec(out.Row(0)), nil
+}
+
+// MeanBatch runs the mean network on a batch of states (one per row).
+func (p *GaussianPolicy) MeanBatch(states *mat.Matrix) (*mat.Matrix, error) {
+	return p.net.Forward(states)
+}
+
+// BackwardMean propagates a gradient with respect to the batch means back
+// through the mean network, accumulating parameter gradients.
+func (p *GaussianPolicy) BackwardMean(grad *mat.Matrix) error {
+	_, err := p.net.Backward(grad)
+	return err
+}
+
+// Std returns the current standard deviation vector.
+func (p *GaussianPolicy) Std() []float64 {
+	out := make([]float64, p.actionDim)
+	for i, v := range p.logStd.Value.Data() {
+		out[i] = math.Exp(v)
+	}
+	return out
+}
+
+// Sample draws an action from π(·|state) and returns it with its
+// log-probability under the current parameters.
+func (p *GaussianPolicy) Sample(rng *rand.Rand, state []float64) (action []float64, logProb float64, err error) {
+	mean, err := p.Mean(state)
+	if err != nil {
+		return nil, 0, err
+	}
+	std := p.Std()
+	action = make([]float64, p.actionDim)
+	for i := range action {
+		action[i] = mean[i] + std[i]*rng.NormFloat64()
+	}
+	logProb = p.logProb(mean, action)
+	return action, logProb, nil
+}
+
+// LogProb returns log π(action|state) under the current parameters.
+func (p *GaussianPolicy) LogProb(state, action []float64) (float64, error) {
+	if len(action) != p.actionDim {
+		return 0, fmt.Errorf("rl: logprob action dim %d, want %d", len(action), p.actionDim)
+	}
+	mean, err := p.Mean(state)
+	if err != nil {
+		return 0, err
+	}
+	return p.logProb(mean, action), nil
+}
+
+// logProb evaluates the diagonal-Gaussian log-density.
+func (p *GaussianPolicy) logProb(mean, action []float64) float64 {
+	ls := p.logStd.Value.Data()
+	var lp float64
+	for i := range action {
+		std := math.Exp(ls[i])
+		z := (action[i] - mean[i]) / std
+		lp += -0.5*z*z - ls[i] - 0.5*log2Pi
+	}
+	return lp
+}
+
+// Entropy returns the policy entropy Σ(logσ + ½log(2πe)), which depends
+// only on the log-std parameters.
+func (p *GaussianPolicy) Entropy() float64 {
+	var h float64
+	for _, v := range p.logStd.Value.Data() {
+		h += v + 0.5*(log2Pi+1)
+	}
+	return h
+}
+
+// Squash maps an unbounded pre-squash value into (lo, hi) via a sigmoid —
+// the transform Chiron applies to the exterior total-price action.
+func Squash(u, lo, hi float64) float64 {
+	return lo + (hi-lo)/(1+math.Exp(-u))
+}
+
+// LogSquash maps an unbounded pre-squash value into [lo, hi] on a
+// logarithmic scale: u=0 lands on the geometric mean √(lo·hi). Prices span
+// orders of magnitude, so the log parametrization gives the policy equal
+// resolution across the whole range and starts exploration near the middle
+// of the *multiplicative* range instead of half the maximum. lo must be
+// positive.
+func LogSquash(u, lo, hi float64) float64 {
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	return math.Exp(logLo + (logHi-logLo)/(1+math.Exp(-u)))
+}
+
+// SquashVec applies Squash elementwise, returning a new slice.
+func SquashVec(u []float64, lo, hi float64) []float64 {
+	out := make([]float64, len(u))
+	for i, v := range u {
+		out[i] = Squash(v, lo, hi)
+	}
+	return out
+}
+
+// SimplexProject maps an unbounded pre-squash vector onto the probability
+// simplex via softmax — the transform Chiron applies to the inner
+// allocation-proportion action.
+func SimplexProject(u []float64) ([]float64, error) {
+	out, err := mat.Softmax(nil, u)
+	if err != nil {
+		return nil, fmt.Errorf("rl: simplex project: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianPolicyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGaussianPolicy(rng, 0, 2, []int{8}, -1); err == nil {
+		t.Fatal("accepted zero state dim")
+	}
+	if _, err := NewGaussianPolicy(rng, 3, 0, []int{8}, -1); err == nil {
+		t.Fatal("accepted zero action dim")
+	}
+}
+
+func TestSampleLogProbConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := NewGaussianPolicy(rng, 4, 3, []int{16}, -0.5)
+	if err != nil {
+		t.Fatalf("NewGaussianPolicy: %v", err)
+	}
+	state := []float64{0.1, -0.2, 0.5, 0.9}
+	action, lp, err := p.Sample(rng, state)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(action) != 3 {
+		t.Fatalf("action dim %d", len(action))
+	}
+	lp2, err := p.LogProb(state, action)
+	if err != nil {
+		t.Fatalf("LogProb: %v", err)
+	}
+	if math.Abs(lp-lp2) > 1e-12 {
+		t.Fatalf("Sample logprob %v != LogProb %v", lp, lp2)
+	}
+	if _, err := p.LogProb(state, []float64{1}); err == nil {
+		t.Fatal("LogProb accepted wrong action dim")
+	}
+}
+
+func TestLogProbMaximalAtMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := NewGaussianPolicy(rng, 2, 2, []int{8}, 0)
+	if err != nil {
+		t.Fatalf("NewGaussianPolicy: %v", err)
+	}
+	state := []float64{0.3, -0.7}
+	mean, err := p.Mean(state)
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	atMean, err := p.LogProb(state, mean)
+	if err != nil {
+		t.Fatalf("LogProb: %v", err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		off := append([]float64(nil), mean...)
+		for i := range off {
+			off[i] += rng.NormFloat64()
+		}
+		lp, err := p.LogProb(state, off)
+		if err != nil {
+			t.Fatalf("LogProb: %v", err)
+		}
+		if lp > atMean+1e-12 {
+			t.Fatalf("logprob off mean %v > at mean %v", lp, atMean)
+		}
+	}
+}
+
+func TestClampLogStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewGaussianPolicy(rng, 2, 2, []int{4}, 100) // clamped at init
+	if err != nil {
+		t.Fatalf("NewGaussianPolicy: %v", err)
+	}
+	for _, std := range p.Std() {
+		if std > math.Exp(logStdMax)+1e-9 {
+			t.Fatalf("init std %v above clamp", std)
+		}
+	}
+	p.logStd.Value.Fill(-100)
+	p.ClampLogStd()
+	for _, v := range p.logStd.Value.Data() {
+		if v < logStdMin {
+			t.Fatalf("logstd %v below clamp", v)
+		}
+	}
+}
+
+func TestEntropyIncreasesWithStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	narrow, err := NewGaussianPolicy(rng, 2, 3, []int{4}, -2)
+	if err != nil {
+		t.Fatalf("NewGaussianPolicy: %v", err)
+	}
+	wide, err := NewGaussianPolicy(rng, 2, 3, []int{4}, 0)
+	if err != nil {
+		t.Fatalf("NewGaussianPolicy: %v", err)
+	}
+	if narrow.Entropy() >= wide.Entropy() {
+		t.Fatalf("entropy ordering wrong: %v >= %v", narrow.Entropy(), wide.Entropy())
+	}
+}
+
+func TestSquash(t *testing.T) {
+	if got := Squash(0, 0, 10); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Squash(0) = %v, want 5", got)
+	}
+	if got := Squash(100, 2, 8); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("Squash(+inf-ish) = %v, want 8", got)
+	}
+	if got := Squash(-100, 2, 8); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("Squash(-inf-ish) = %v, want 2", got)
+	}
+	v := SquashVec([]float64{-100, 0, 100}, 0, 1)
+	if v[0] > 0.001 || math.Abs(v[1]-0.5) > 1e-12 || v[2] < 0.999 {
+		t.Fatalf("SquashVec = %v", v)
+	}
+}
+
+// Property: Squash always lands strictly inside (lo, hi) for finite input
+// and is monotone.
+func TestSquashProperty(t *testing.T) {
+	f := func(u1, u2 float64) bool {
+		if math.IsNaN(u1) || math.IsNaN(u2) || math.Abs(u1) > 500 || math.Abs(u2) > 500 {
+			return true
+		}
+		lo, hi := 1.0, 4.0
+		a, b := Squash(u1, lo, hi), Squash(u2, lo, hi)
+		if a < lo || a > hi || b < lo || b > hi {
+			return false
+		}
+		if u1 < u2 && a > b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplexProject(t *testing.T) {
+	props, err := SimplexProject([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("SimplexProject: %v", err)
+	}
+	var sum float64
+	for _, p := range props {
+		if p <= 0 {
+			t.Fatalf("proportion %v <= 0", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("proportions sum to %v", sum)
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	var b Buffer
+	if err := b.Validate(); err == nil {
+		t.Fatal("empty buffer validated")
+	}
+	b.Add(Transition{State: []float64{1, 2}, Action: []float64{1}, NextState: []float64{1, 2}})
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid buffer rejected: %v", err)
+	}
+	b.Add(Transition{State: []float64{1}, Action: []float64{1}, NextState: []float64{1}})
+	if err := b.Validate(); err == nil {
+		t.Fatal("inconsistent buffer validated")
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestMarkLastDone(t *testing.T) {
+	var b Buffer
+	b.MarkLastDone() // no-op on empty
+	b.Add(Transition{State: []float64{1}, Action: []float64{1}, NextState: []float64{1}})
+	b.Add(Transition{State: []float64{2}, Action: []float64{2}, NextState: []float64{2}})
+	b.MarkLastDone()
+	trans := b.Transitions()
+	if trans[0].Done || !trans[1].Done {
+		t.Fatalf("MarkLastDone wrong: %+v", trans)
+	}
+}

@@ -1,0 +1,392 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiron/internal/mat"
+	"chiron/internal/nn"
+)
+
+// PPOConfig holds the Proximal Policy Optimization hyperparameters.
+type PPOConfig struct {
+	// Gamma is the reward discount factor (paper: 0.95).
+	Gamma float64
+	// GAELambda enables Generalized Advantage Estimation with the given λ
+	// when positive; 0 keeps the paper's plain TD(0) advantages. GAE
+	// trades bias for variance and is the conventional PPO pairing.
+	GAELambda float64
+	// ClipEps is the PPO clipping radius ε (standard: 0.2).
+	ClipEps float64
+	// ActorLR and CriticLR are the Adam learning rates (paper: 3e-5 both).
+	ActorLR, CriticLR float64
+	// UpdateEpochs is M, the optimization passes per update (Algorithm 1).
+	UpdateEpochs int
+	// EntropyCoef weights the exploration entropy bonus.
+	EntropyCoef float64
+	// MaxGradNorm clips the global gradient norm (0 disables).
+	MaxGradNorm float64
+	// LRDecayFactor and LRDecayEvery implement the paper's "decays by 95%
+	// every 20 episodes" schedule; LRDecayEvery of 0 disables decay.
+	LRDecayFactor float64
+	LRDecayEvery  int
+	// InitLogStd initializes the policy's log standard deviation.
+	InitLogStd float64
+	// Hidden lists the MLP hidden-layer widths for actor and critic.
+	Hidden []int
+}
+
+// DefaultPPOConfig returns the paper's DRL hyperparameters (Sec. VI-A):
+// γ=0.95, actor/critic learning rate 3e-5 decaying by ×0.95 every 20
+// episodes, and conventional PPO clipping of 0.2.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Gamma:         0.95,
+		ClipEps:       0.2,
+		ActorLR:       3e-5,
+		CriticLR:      3e-5,
+		UpdateEpochs:  10,
+		EntropyCoef:   1e-3,
+		MaxGradNorm:   0.5,
+		LRDecayFactor: 0.95,
+		LRDecayEvery:  20,
+		InitLogStd:    -0.5,
+		Hidden:        []int{64, 64},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c PPOConfig) Validate() error {
+	switch {
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("rl: gamma %v outside [0,1]", c.Gamma)
+	case c.GAELambda < 0 || c.GAELambda > 1:
+		return fmt.Errorf("rl: gae lambda %v outside [0,1]", c.GAELambda)
+	case c.ClipEps <= 0 || c.ClipEps >= 1:
+		return fmt.Errorf("rl: clip epsilon %v outside (0,1)", c.ClipEps)
+	case c.ActorLR <= 0 || c.CriticLR <= 0:
+		return fmt.Errorf("rl: learning rates %v/%v, want > 0", c.ActorLR, c.CriticLR)
+	case c.UpdateEpochs <= 0:
+		return fmt.Errorf("rl: update epochs %d, want > 0", c.UpdateEpochs)
+	case c.EntropyCoef < 0:
+		return fmt.Errorf("rl: entropy coef %v, want >= 0", c.EntropyCoef)
+	case c.MaxGradNorm < 0:
+		return fmt.Errorf("rl: max grad norm %v, want >= 0", c.MaxGradNorm)
+	case c.LRDecayEvery < 0:
+		return fmt.Errorf("rl: lr decay interval %d, want >= 0", c.LRDecayEvery)
+	case len(c.Hidden) == 0:
+		return fmt.Errorf("rl: no hidden layers")
+	}
+	return nil
+}
+
+// UpdateStats summarizes one PPO update for logging and tests.
+type UpdateStats struct {
+	ActorLoss  float64
+	CriticLoss float64
+	Entropy    float64
+	MeanRatio  float64
+	ClipFrac   float64
+	NumSamples int
+	ActorLR    float64
+	CriticLR   float64
+}
+
+// PPO is an actor-critic PPO learner over a Gaussian policy. It is not
+// safe for concurrent use.
+type PPO struct {
+	cfg     PPOConfig
+	actor   *GaussianPolicy
+	critic  *nn.Network
+	optA    *nn.Adam
+	optC    *nn.Adam
+	episode int
+}
+
+// NewPPO builds an agent for the given state/action dimensions.
+func NewPPO(rng *rand.Rand, stateDim, actionDim int, cfg PPOConfig) (*PPO, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	actor, err := NewGaussianPolicy(rng, stateDim, actionDim, cfg.Hidden, cfg.InitLogStd)
+	if err != nil {
+		return nil, err
+	}
+	widths := append(append([]int{stateDim}, cfg.Hidden...), 1)
+	critic, err := nn.NewMLP(rng, nn.ActTanh, widths...)
+	if err != nil {
+		return nil, fmt.Errorf("rl: critic network: %w", err)
+	}
+	return &PPO{
+		cfg:    cfg,
+		actor:  actor,
+		critic: critic,
+		optA:   nn.NewAdam(actor.Params(), cfg.ActorLR),
+		optC:   nn.NewAdam(critic.Params(), cfg.CriticLR),
+	}, nil
+}
+
+// Policy exposes the actor for action selection.
+func (p *PPO) Policy() *GaussianPolicy { return p.actor }
+
+// Config returns the agent's hyperparameters.
+func (p *PPO) Config() PPOConfig { return p.cfg }
+
+// Act samples a pre-squash action and its log-probability.
+func (p *PPO) Act(rng *rand.Rand, state []float64) (action []float64, logProb float64, err error) {
+	return p.actor.Sample(rng, state)
+}
+
+// ActDeterministic returns the policy mean, used for greedy evaluation.
+func (p *PPO) ActDeterministic(state []float64) ([]float64, error) {
+	return p.actor.Mean(state)
+}
+
+// Value estimates V(s) for a single state.
+func (p *PPO) Value(state []float64) (float64, error) {
+	x, err := mat.NewFromData(1, len(state), state)
+	if err != nil {
+		return 0, fmt.Errorf("rl: value: %w", err)
+	}
+	out, err := p.critic.Forward(x)
+	if err != nil {
+		return 0, fmt.Errorf("rl: value: %w", err)
+	}
+	return out.At(0, 0), nil
+}
+
+// EndEpisode advances the learning-rate decay schedule by one episode and
+// returns the actor learning rate now in force.
+func (p *PPO) EndEpisode() float64 {
+	p.episode++
+	if p.cfg.LRDecayEvery > 0 && p.episode%p.cfg.LRDecayEvery == 0 {
+		p.optA.SetLR(p.optA.LR() * p.cfg.LRDecayFactor)
+		p.optC.SetLR(p.optC.LR() * p.cfg.LRDecayFactor)
+	}
+	return p.optA.LR()
+}
+
+// Update runs M epochs of clipped-surrogate PPO over the buffered episode
+// (lines 17–27 of Algorithm 1): the critic regresses TD(0) targets and the
+// actor ascends the clipped importance-weighted advantage.
+func (p *PPO) Update(buf *Buffer) (UpdateStats, error) {
+	if err := buf.Validate(); err != nil {
+		return UpdateStats{}, err
+	}
+	trans := buf.Transitions()
+	n := len(trans)
+	stateDim := len(trans[0].State)
+
+	states := mat.New(n, stateDim)
+	nextStates := mat.New(n, stateDim)
+	for i, t := range trans {
+		copy(states.Row(i), t.State)
+		copy(nextStates.Row(i), t.NextState)
+	}
+
+	// Advantages from the pre-update critic, normalized across the batch
+	// for stable scaling: plain TD(0) residuals by default (Algorithm 1),
+	// or their GAE(λ) accumulation when configured.
+	adv, err := p.tdAdvantages(trans, states, nextStates)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	if p.cfg.GAELambda > 0 {
+		adv = accumulateGAE(trans, adv, p.cfg.Gamma, p.cfg.GAELambda)
+	}
+	normalizeAdvantages(adv)
+
+	stats := UpdateStats{NumSamples: n}
+	for epoch := 0; epoch < p.cfg.UpdateEpochs; epoch++ {
+		criticLoss, err := p.updateCritic(trans, states, nextStates)
+		if err != nil {
+			return UpdateStats{}, fmt.Errorf("rl: critic update: %w", err)
+		}
+		actorLoss, meanRatio, clipFrac, err := p.updateActor(trans, states, adv)
+		if err != nil {
+			return UpdateStats{}, fmt.Errorf("rl: actor update: %w", err)
+		}
+		stats.CriticLoss = criticLoss
+		stats.ActorLoss = actorLoss
+		stats.MeanRatio = meanRatio
+		stats.ClipFrac = clipFrac
+	}
+	stats.Entropy = p.actor.Entropy()
+	stats.ActorLR = p.optA.LR()
+	stats.CriticLR = p.optC.LR()
+	return stats, nil
+}
+
+// tdAdvantages computes r + γV(s')(1−done) − V(s) with the current critic.
+func (p *PPO) tdAdvantages(trans []Transition, states, nextStates *mat.Matrix) ([]float64, error) {
+	v, err := p.critic.Forward(states)
+	if err != nil {
+		return nil, err
+	}
+	vn, err := p.critic.Forward(nextStates)
+	if err != nil {
+		return nil, err
+	}
+	adv := make([]float64, len(trans))
+	for i, t := range trans {
+		next := vn.At(i, 0)
+		if t.Done {
+			next = 0
+		}
+		adv[i] = t.Reward + p.cfg.Gamma*next - v.At(i, 0)
+	}
+	return adv, nil
+}
+
+// accumulateGAE folds TD residuals δ_t into GAE(λ) advantages
+// Â_t = Σ_l (γλ)^l δ_{t+l}, restarting at episode boundaries. The input
+// residuals must be in trajectory order, which is how the mechanisms fill
+// their buffers.
+func accumulateGAE(trans []Transition, deltas []float64, gamma, lambda float64) []float64 {
+	out := make([]float64, len(deltas))
+	var running float64
+	for i := len(deltas) - 1; i >= 0; i-- {
+		if trans[i].Done {
+			running = 0
+		}
+		running = deltas[i] + gamma*lambda*running
+		out[i] = running
+	}
+	return out
+}
+
+func normalizeAdvantages(adv []float64) {
+	mean := mat.MeanVec(adv)
+	std := mat.StdVec(adv)
+	if std < 1e-8 {
+		std = 1e-8
+	}
+	for i := range adv {
+		adv[i] = (adv[i] - mean) / std
+	}
+}
+
+// updateCritic performs one semi-gradient TD(0) regression pass: targets
+// r + γV(s') are recomputed with the current critic and treated as
+// constants, per line 19 of Algorithm 1.
+func (p *PPO) updateCritic(trans []Transition, states, nextStates *mat.Matrix) (float64, error) {
+	vn, err := p.critic.Forward(nextStates)
+	if err != nil {
+		return 0, err
+	}
+	n := len(trans)
+	targets := mat.New(n, 1)
+	for i, t := range trans {
+		next := vn.At(i, 0)
+		if t.Done {
+			next = 0
+		}
+		targets.Set(i, 0, t.Reward+p.cfg.Gamma*next)
+	}
+	pred, err := p.critic.Forward(states)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := nn.MSE(pred, targets)
+	if err != nil {
+		return 0, err
+	}
+	p.critic.ZeroGrad()
+	if _, err := p.critic.Backward(grad); err != nil {
+		return 0, err
+	}
+	if p.cfg.MaxGradNorm > 0 {
+		p.critic.ClipGradNorm(p.cfg.MaxGradNorm)
+	}
+	if err := p.optC.Step(); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// updateActor performs one clipped-surrogate pass:
+// L = −E[min(ρ·Â, clip(ρ,1±ε)·Â)] − c_H·H(π).
+func (p *PPO) updateActor(trans []Transition, states *mat.Matrix, adv []float64) (loss, meanRatio, clipFrac float64, err error) {
+	n := len(trans)
+	actDim := p.actor.ActionDim()
+	means, err := p.actor.MeanBatch(states)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ls := p.actor.logStd.Value.Data()
+	meanGrad := mat.New(n, actDim)
+	logStdGrad := p.actor.logStd.Grad.Data()
+	p.actor.ZeroGrad()
+
+	invN := 1 / float64(n)
+	var clipped int
+	for i, t := range trans {
+		// New log-probability under current parameters.
+		var lp float64
+		for j := 0; j < actDim; j++ {
+			std := math.Exp(ls[j])
+			z := (t.Action[j] - means.At(i, j)) / std
+			lp += -0.5*z*z - ls[j] - 0.5*log2Pi
+		}
+		ratio := math.Exp(lp - t.LogProb)
+		meanRatio += ratio * invN
+		surr1 := ratio * adv[i]
+		surr2 := mat.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps) * adv[i]
+		if surr1 <= surr2 {
+			// Gradient flows through the unclipped branch:
+			// dL/dlogπ = −Â·ρ/n, then chain into μ and logσ.
+			gradLP := -adv[i] * ratio * invN
+			for j := 0; j < actDim; j++ {
+				std := math.Exp(ls[j])
+				diff := t.Action[j] - means.At(i, j)
+				// ∂logπ/∂μ_j = (a_j − μ_j)/σ_j²
+				meanGrad.Set(i, j, gradLP*diff/(std*std))
+				// ∂logπ/∂logσ_j = (a_j − μ_j)²/σ_j² − 1
+				logStdGrad[j] += gradLP * (diff*diff/(std*std) - 1)
+			}
+			loss -= surr1 * invN
+		} else {
+			clipped++
+			loss -= surr2 * invN
+		}
+	}
+	// Entropy bonus: H = Σ(logσ_j + const); ∂H/∂logσ_j = 1.
+	if p.cfg.EntropyCoef > 0 {
+		for j := 0; j < actDim; j++ {
+			logStdGrad[j] -= p.cfg.EntropyCoef
+		}
+		loss -= p.cfg.EntropyCoef * p.actor.Entropy()
+	}
+	if err := p.actor.BackwardMean(meanGrad); err != nil {
+		return 0, 0, 0, err
+	}
+	if p.cfg.MaxGradNorm > 0 {
+		clipPolicyGradNorm(p.actor, p.cfg.MaxGradNorm)
+	}
+	if err := p.optA.Step(); err != nil {
+		return 0, 0, 0, err
+	}
+	p.actor.ClampLogStd()
+	return loss, meanRatio, float64(clipped) / float64(n), nil
+}
+
+// clipPolicyGradNorm applies global-norm clipping across the mean network
+// and the log-std vector together.
+func clipPolicyGradNorm(pol *GaussianPolicy, maxNorm float64) {
+	var sq float64
+	params := pol.Params()
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+}

@@ -1,0 +1,77 @@
+package rl
+
+import (
+	"fmt"
+
+	"chiron/internal/nn"
+)
+
+// Snapshot is a serializable copy of a PPO agent's learnable state: every
+// actor parameter tensor (including the log-std vector), every critic
+// parameter tensor, and the optimizer's episode/learning-rate position in
+// the decay schedule. Adam moment estimates are deliberately not captured:
+// a restored agent restarts its optimizer, which is the conventional
+// checkpoint semantic for evaluation and fine-tuning.
+type Snapshot struct {
+	Actor    [][]float64 `json:"actor"`
+	Critic   [][]float64 `json:"critic"`
+	Episode  int         `json:"episode"`
+	ActorLR  float64     `json:"actor_lr"`
+	CriticLR float64     `json:"critic_lr"`
+}
+
+// Snapshot captures the agent's current learnable state.
+func (p *PPO) Snapshot() *Snapshot {
+	return &Snapshot{
+		Actor:    copyParams(p.actor.Params()),
+		Critic:   copyParams(p.critic.Params()),
+		Episode:  p.episode,
+		ActorLR:  p.optA.LR(),
+		CriticLR: p.optC.LR(),
+	}
+}
+
+// Restore overwrites the agent's learnable state from a snapshot taken on
+// an identically configured agent. The optimizers keep their moment state
+// but adopt the snapshot's learning rates and episode position.
+func (p *PPO) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("rl: restore from nil snapshot")
+	}
+	if err := loadParams(p.actor.Params(), s.Actor); err != nil {
+		return fmt.Errorf("rl: restore actor: %w", err)
+	}
+	if err := loadParams(p.critic.Params(), s.Critic); err != nil {
+		return fmt.Errorf("rl: restore critic: %w", err)
+	}
+	p.episode = s.Episode
+	if s.ActorLR > 0 {
+		p.optA.SetLR(s.ActorLR)
+	}
+	if s.CriticLR > 0 {
+		p.optC.SetLR(s.CriticLR)
+	}
+	p.actor.ClampLogStd()
+	return nil
+}
+
+func copyParams(params []nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Value.Data()...)
+	}
+	return out
+}
+
+func loadParams(params []nn.Param, src [][]float64) error {
+	if len(src) != len(params) {
+		return fmt.Errorf("rl: %d tensors for %d parameters", len(src), len(params))
+	}
+	for i, p := range params {
+		if len(src[i]) != p.Value.Size() {
+			return fmt.Errorf("rl: tensor %d has %d values, want %d", i, len(src[i]), p.Value.Size())
+		}
+		copy(p.Value.Data(), src[i])
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package trace records edge-learning episodes as JSON Lines for post-hoc
+// analysis: one record per training round plus one summary record per
+// episode. The format is append-only and stream-parseable, so a crashed or
+// interrupted run still yields a readable prefix.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chiron/internal/market"
+	"chiron/internal/mechanism"
+)
+
+// RecordKind discriminates the JSONL record types.
+type RecordKind string
+
+// The record kinds.
+const (
+	KindRound   RecordKind = "round"
+	KindEpisode RecordKind = "episode"
+)
+
+// RoundRecord is one training round of one episode.
+type RoundRecord struct {
+	Kind         RecordKind `json:"kind"`
+	Episode      int        `json:"episode"`
+	Round        int        `json:"round"`
+	Prices       []float64  `json:"prices"`
+	Freqs        []float64  `json:"freqs"`
+	Times        []float64  `json:"times"`
+	Payment      float64    `json:"payment"`
+	Accuracy     float64    `json:"accuracy"`
+	Participants int        `json:"participants"`
+}
+
+// EpisodeRecord summarizes one finished episode.
+type EpisodeRecord struct {
+	Kind             RecordKind `json:"kind"`
+	Episode          int        `json:"episode"`
+	Rounds           int        `json:"rounds"`
+	FinalAccuracy    float64    `json:"final_accuracy"`
+	ExteriorReturn   float64    `json:"exterior_return"`
+	DiscountedReturn float64    `json:"discounted_return"`
+	InnerReturn      float64    `json:"inner_return"`
+	TimeEfficiency   float64    `json:"time_efficiency"`
+	TotalTime        float64    `json:"total_time"`
+	BudgetSpent      float64    `json:"budget_spent"`
+	ServerUtility    float64    `json:"server_utility"`
+}
+
+// Writer streams trace records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	tw := &Writer{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	return tw
+}
+
+// Create opens path for writing (truncating) and returns a Writer over it.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	return NewWriter(f), nil
+}
+
+// WriteRound appends one round record.
+func (t *Writer) WriteRound(episode int, r *market.Round) error {
+	rec := RoundRecord{
+		Kind:         KindRound,
+		Episode:      episode,
+		Round:        r.Index,
+		Prices:       r.Prices,
+		Freqs:        r.Freqs,
+		Times:        r.Times,
+		Payment:      r.Payment,
+		Accuracy:     r.Accuracy,
+		Participants: r.Participants,
+	}
+	if err := t.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: write round: %w", err)
+	}
+	return nil
+}
+
+// WriteEpisode appends one episode summary record.
+func (t *Writer) WriteEpisode(res mechanism.EpisodeResult) error {
+	rec := EpisodeRecord{
+		Kind:             KindEpisode,
+		Episode:          res.Episode,
+		Rounds:           res.Rounds,
+		FinalAccuracy:    res.FinalAccuracy,
+		ExteriorReturn:   res.ExteriorReturn,
+		DiscountedReturn: res.DiscountedReturn,
+		InnerReturn:      res.InnerReturn,
+		TimeEfficiency:   res.TimeEfficiency,
+		TotalTime:        res.TotalTime,
+		BudgetSpent:      res.BudgetSpent,
+		ServerUtility:    res.ServerUtility,
+	}
+	if err := t.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: write episode: %w", err)
+	}
+	return nil
+}
+
+// Flush forces buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (t *Writer) Close() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil {
+			return fmt.Errorf("trace: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// Trace is a fully parsed trace file.
+type Trace struct {
+	Rounds   []RoundRecord
+	Episodes []EpisodeRecord
+}
+
+// Read parses a JSONL trace from r. Unknown record kinds are skipped so
+// newer traces stay readable by older tooling.
+func Read(r io.Reader) (*Trace, error) {
+	out := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind RecordKind `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch probe.Kind {
+		case KindRound:
+			var rec RoundRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			out.Rounds = append(out.Rounds, rec)
+		case KindEpisode:
+			var rec EpisodeRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			out.Episodes = append(out.Episodes, rec)
+		default:
+			// Forward compatibility: ignore unknown kinds.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile parses the JSONL trace at path.
+func ReadFile(path string) (trc *Trace, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return Read(f)
+}

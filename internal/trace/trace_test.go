@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chiron/internal/market"
+	"chiron/internal/mechanism"
+)
+
+func sampleRound(idx int) *market.Round {
+	return &market.Round{
+		Index:        idx,
+		Prices:       []float64{1e-9, 2e-9},
+		Freqs:        []float64{5e8, 7e8},
+		Times:        []float64{20, 18},
+		Payment:      1.5,
+		Accuracy:     0.8,
+		Participants: 2,
+	}
+}
+
+func sampleEpisode(ep int) mechanism.EpisodeResult {
+	return mechanism.EpisodeResult{
+		Episode: ep, Rounds: 3, FinalAccuracy: 0.9,
+		ExteriorReturn: 1200, DiscountedReturn: 900, InnerReturn: -40,
+		TimeEfficiency: 0.85, TotalTime: 60, BudgetSpent: 95, ServerUtility: 1700,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for ep := 1; ep <= 2; ep++ {
+		for r := 1; r <= 3; r++ {
+			if err := w.WriteRound(ep, sampleRound(r)); err != nil {
+				t.Fatalf("WriteRound: %v", err)
+			}
+		}
+		if err := w.WriteEpisode(sampleEpisode(ep)); err != nil {
+			t.Fatalf("WriteEpisode: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	trc, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(trc.Rounds) != 6 || len(trc.Episodes) != 2 {
+		t.Fatalf("parsed %d rounds %d episodes", len(trc.Rounds), len(trc.Episodes))
+	}
+	if trc.Rounds[0].Kind != KindRound || trc.Rounds[0].Round != 1 {
+		t.Fatalf("first round record %+v", trc.Rounds[0])
+	}
+	if trc.Episodes[1].ServerUtility != 1700 {
+		t.Fatalf("episode record %+v", trc.Episodes[1])
+	}
+	if trc.Rounds[3].Episode != 2 {
+		t.Fatalf("round episode tagging wrong: %+v", trc.Rounds[3])
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.WriteEpisode(sampleEpisode(1)); err != nil {
+		t.Fatalf("WriteEpisode: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	trc, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(trc.Episodes) != 1 {
+		t.Fatalf("episodes %d", len(trc.Episodes))
+	}
+}
+
+func TestReadSkipsUnknownKinds(t *testing.T) {
+	input := `{"kind":"future-thing","x":1}
+{"kind":"episode","episode":1,"rounds":2}
+`
+	trc, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(trc.Episodes) != 1 || len(trc.Rounds) != 0 {
+		t.Fatalf("parsed %d/%d", len(trc.Rounds), len(trc.Episodes))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("accepted garbage line")
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	trc, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(trc.Rounds) != 0 || len(trc.Episodes) != 0 {
+		t.Fatal("empty input produced records")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("opened a missing file")
+	}
+}
