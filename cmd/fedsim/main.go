@@ -9,9 +9,20 @@
 //	fedsim [-dataset mnist|fashion|cifar] [-nodes N] [-rounds R]
 //	       [-partition iid|dirichlet|shards] [-alpha A] [-frac C]
 //	       [-server-momentum B] [-samples S] [-hidden H] [-seed S]
+//	       [-crash-rate P] [-corrupt-rate P] [-drop-rate P]
+//	       [-max-retries R] [-min-quorum Q] [-max-delta-norm D]
+//	       [-fault-seed S]
+//
+// The fault flags drive the failure-hardened round pipeline: clients crash
+// before training (crash-rate), upload damaged parameter vectors
+// (corrupt-rate, screened out by sanitization), or lose uploads on an
+// unreliable channel retried up to max-retries times (drop-rate). Rounds
+// where fewer than min-quorum sanitized updates survive leave the global
+// model untouched instead of aborting the run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +30,7 @@ import (
 	"strings"
 
 	"chiron/internal/dataset"
+	"chiron/internal/faults"
 	"chiron/internal/fl"
 	"chiron/internal/nn"
 )
@@ -34,6 +46,7 @@ func main() {
 type aggregator interface {
 	Global() []float64
 	Aggregate(updates []fl.Update) error
+	AggregateRobust(updates []fl.Update, cfg fl.RobustConfig) ([]fl.Rejection, error)
 	Evaluate() (float64, error)
 }
 
@@ -50,6 +63,13 @@ func run(args []string) error {
 	hidden := fs.Int("hidden", 32, "MLP hidden width")
 	seed := fs.Int64("seed", 1, "random seed")
 	logEvery := fs.Int("log-every", 5, "print accuracy every this many rounds")
+	crashRate := fs.Float64("crash-rate", 0, "per-round probability a selected client crashes before training")
+	corruptRate := fs.Float64("corrupt-rate", 0, "per-round probability a client uploads a corrupted parameter vector")
+	dropRate := fs.Float64("drop-rate", 0, "per-attempt probability a client upload is lost in transit")
+	maxRetries := fs.Int("max-retries", 2, "re-upload attempts before a dropped client is abandoned for the round")
+	minQuorum := fs.Int("min-quorum", 1, "minimum sanitized updates required to advance the global model")
+	maxDeltaNorm := fs.Float64("max-delta-norm", 1e6, "reject updates farther than this L2 distance from the global model (0 disables)")
+	faultSeed := fs.Int64("fault-seed", 0, "seed of the fault schedule (0 = derive from -seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,14 +134,44 @@ func run(args []string) error {
 	if perRound < 1 {
 		perRound = 1
 	}
+
+	// Fault harness: crashes and corruptions come from a seed-deterministic
+	// sampled schedule, dropped uploads from the retry-bounded uplink.
+	fseed := *faultSeed
+	if fseed == 0 {
+		fseed = *seed + 9001
+	}
+	var sched faults.Schedule
+	if *crashRate > 0 || *corruptRate > 0 {
+		sampler, err := faults.NewSampler(faults.Rates{Crash: *crashRate, Corrupt: *corruptRate}, fseed)
+		if err != nil {
+			return err
+		}
+		sched = sampler
+	}
+	uplink, err := fl.NewUplink(*dropRate, *maxRetries, rand.New(rand.NewSource(fseed+1)))
+	if err != nil {
+		return err
+	}
+	corruptRng := rand.New(rand.NewSource(fseed + 2))
+	robust := fl.RobustConfig{MinQuorum: *minQuorum, MaxDeltaNorm: *maxDeltaNorm}
+	if err := robust.Validate(); err != nil {
+		return err
+	}
+
 	acc, err := srv.Evaluate()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fedsim: %s, %d clients (%s split), %d sampled/round, σ=%d epochs, server momentum %.2f\n",
 		spec.Name, *nodes, *partition, perRound, fl.DefaultConfig().Epochs, *serverMomentum)
+	if sched != nil || *dropRate > 0 {
+		fmt.Printf("faults: crash %.0f%%, corrupt %.0f%%, drop %.0f%% (≤%d retries), quorum %d\n",
+			100**crashRate, 100**corruptRate, 100**dropRate, *maxRetries, *minQuorum)
+	}
 	fmt.Printf("round   0: accuracy %.3f (untrained)\n", acc)
 
+	var crashed, dropped, rejected, skipped int
 	for round := 1; round <= *rounds; round++ {
 		selected, err := fl.SampleClients(rng, *nodes, perRound)
 		if err != nil {
@@ -130,13 +180,35 @@ func run(args []string) error {
 		global := srv.Global()
 		updates := make([]fl.Update, 0, len(selected))
 		for _, id := range selected {
+			var fault faults.Fault
+			if sched != nil {
+				fault, _ = sched.At(round, id)
+			}
+			if fault.Kind == faults.Crash {
+				crashed++
+				continue
+			}
 			params, _, err := clients[id].TrainRound(global)
 			if err != nil {
 				return err
 			}
-			updates = append(updates, fl.Update{Params: params, Samples: clients[id].NumSamples()})
+			if fault.Kind == faults.Corrupt {
+				faults.CorruptParams(params, fault.Mode, corruptRng)
+			}
+			if _, ok := uplink.Send(); !ok {
+				dropped++
+				continue
+			}
+			updates = append(updates, fl.Update{Client: id, Params: params, Samples: clients[id].NumSamples()})
 		}
-		if err := srv.Aggregate(updates); err != nil {
+		rej, err := srv.AggregateRobust(updates, robust)
+		rejected += len(rej)
+		if errors.Is(err, fl.ErrQuorum) {
+			// Not enough survivors to trust the average: hold the global
+			// model for a round instead of aborting the run.
+			skipped++
+			continue
+		} else if err != nil {
 			return err
 		}
 		if acc, err = srv.Evaluate(); err != nil {
@@ -147,6 +219,10 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("final accuracy after %d rounds: %.3f\n", *rounds, acc)
+	if crashed+dropped+rejected+skipped > 0 {
+		fmt.Printf("failure summary: %d crashed, %d uploads dropped after retries, %d updates rejected, %d rounds skipped (quorum)\n",
+			crashed, dropped, rejected, skipped)
+	}
 	return nil
 }
 

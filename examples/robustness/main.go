@@ -1,8 +1,11 @@
 // Robustness stresses the learned mechanism beyond the paper's idealized
-// assumptions: per-round bandwidth variation (the paper's B_{i,k} made
-// real) and random node unavailability. It trains Chiron on the clean
-// environment, then evaluates the same policy under increasing churn —
-// the degradation curve a deployment engineer would want before rollout.
+// assumptions. It trains Chiron on the clean environment, then evaluates
+// the same frozen policy under escalating failure regimes: bandwidth
+// jitter and node churn (the soft knobs), and injected faults from
+// internal/faults — node crashes, stragglers, dropped uploads, and
+// corrupted updates — with a round deadline, bounded retries, and
+// zero payment to failed nodes. The degradation table is what a
+// deployment engineer would want before rollout.
 //
 // Run with:
 //
@@ -19,6 +22,7 @@ import (
 	"chiron/internal/core"
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
+	"chiron/internal/faults"
 )
 
 func main() {
@@ -50,27 +54,40 @@ func run() error {
 	}
 	ck := sys.Agent().Checkpoint()
 
-	// Evaluate the frozen policy under churn. Each scenario rebuilds the
-	// environment with the same fleet but jitter/availability enabled and
-	// restores the trained weights into a fresh agent bound to it.
+	// Evaluate the frozen policy under churn and injected faults. Each
+	// scenario rebuilds the environment with the same fleet and restores
+	// the trained weights into a fresh agent bound to it.
 	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(nodes))
 	if err != nil {
 		return err
 	}
+	// Deadline: 20% above the slowest clean response, so healthy nodes
+	// are never cut but crashes time out and big stragglers are dropped.
+	var deadline float64
+	for _, n := range fleet {
+		if t := n.ComputeTime(n.FreqMin) + n.CommTime; t*1.2 > deadline {
+			deadline = t * 1.2
+		}
+	}
+	faultMix := faults.Rates{Crash: 0.03, Straggle: 0.06, Drop: 0.05, Corrupt: 0.03}
 	scenarios := []struct {
 		name         string
 		jitter       float64
 		availability float64
+		rates        faults.Rates
 	}{
-		{"clean (paper assumptions)", 0, 0},
-		{"±10% bandwidth jitter", 0.10, 0},
-		{"±30% bandwidth jitter", 0.30, 0},
-		{"90% node availability", 0, 0.90},
-		{"70% node availability", 0, 0.70},
-		{"±30% jitter + 80% availability", 0.30, 0.80},
+		{"clean (paper assumptions)", 0, 0, faults.Rates{}},
+		{"±10% bandwidth jitter", 0.10, 0, faults.Rates{}},
+		{"±30% bandwidth jitter", 0.30, 0, faults.Rates{}},
+		{"90% node availability", 0, 0.90, faults.Rates{}},
+		{"70% node availability", 0, 0.70, faults.Rates{}},
+		{"faults: light (1x mix)", 0, 0, faultMix},
+		{"faults: moderate (3x mix)", 0, 0, faultMix.Scale(3)},
+		{"faults: severe (6x mix)", 0, 0, faultMix.Scale(6)},
+		{"severe faults + 30% jitter", 0.30, 0, faultMix.Scale(6)},
 	}
-	fmt.Printf("\nfrozen policy under churn (%d eval episodes each):\n", evalEps)
-	fmt.Printf("%-34s %10s %8s %10s\n", "scenario", "accuracy", "rounds", "time-eff")
+	fmt.Printf("\nfrozen policy under churn and injected faults (%d eval episodes each):\n", evalEps)
+	fmt.Printf("%-30s %10s %8s %10s %10s\n", "scenario", "accuracy", "rounds", "time-eff", "failures")
 	for _, sc := range scenarios {
 		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, nodes)
 		if err != nil {
@@ -81,6 +98,16 @@ func run() error {
 		cfg.Availability = sc.availability
 		if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
 			cfg.Rng = rand.New(rand.NewSource(seed + 2))
+		}
+		if sc.rates.Any() {
+			sampler, err := faults.NewSampler(sc.rates, seed+3)
+			if err != nil {
+				return err
+			}
+			cfg.Faults = sampler
+			cfg.RoundDeadline = deadline
+			cfg.MaxRetries = 2
+			cfg.RetryBackoff = 1
 		}
 		env, err := edgeenv.New(cfg)
 		if err != nil {
@@ -97,11 +124,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-34s %10.3f %8d %9.1f%%\n",
-			sc.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency)
+		// The ledger still holds the final evaluation episode's rounds,
+		// so its outcomes give a representative failure count.
+		var failures int
+		for _, r := range env.Ledger().Rounds() {
+			failures += r.Failures()
+		}
+		fmt.Printf("%-30s %10.3f %8d %9.1f%% %10d\n",
+			sc.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, failures)
 	}
-	fmt.Println("\nthe policy degrades gracefully: jitter erodes time consistency")
-	fmt.Println("(the inner agent planned for nominal upload times), while node")
-	fmt.Println("churn mostly slows the accuracy climb via missed participation.")
+	fmt.Println("\nthe policy degrades gracefully: jitter erodes time consistency,")
+	fmt.Println("node churn slows the accuracy climb via missed participation, and")
+	fmt.Println("injected faults cost failed rounds — but the deadline, quorum, and")
+	fmt.Println("no-pay-on-failure rules keep every episode running within budget.")
 	return nil
 }

@@ -2,11 +2,18 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
 	"chiron/internal/rl"
 )
+
+// ErrCorruptCheckpoint reports a checkpoint file that cannot be restored:
+// truncated mid-write, invalid JSON, or structurally incomplete (missing
+// either agent's snapshot). Callers distinguish it from shape mismatches
+// and I/O errors with errors.Is.
+var ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint")
 
 // Checkpoint is the serializable training state of a hierarchical agent:
 // both layers' snapshots plus the episode counter.
@@ -38,6 +45,10 @@ func (c *Chiron) Restore(ck *Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("core: restore from nil checkpoint")
 	}
+	if ck.Exterior == nil || ck.Inner == nil {
+		return fmt.Errorf("%w: missing agent snapshot (exterior=%v inner=%v)",
+			ErrCorruptCheckpoint, ck.Exterior != nil, ck.Inner != nil)
+	}
 	if ck.Nodes != c.env.NumNodes() || ck.StateDim != c.env.StateDim() {
 		return fmt.Errorf("core: checkpoint for %d nodes / state dim %d, environment has %d / %d",
 			ck.Nodes, ck.StateDim, c.env.NumNodes(), c.env.StateDim())
@@ -65,7 +76,9 @@ func (c *Chiron) SaveCheckpoint(path string) error {
 }
 
 // LoadCheckpoint restores the agent's training state from a JSON file
-// written by SaveCheckpoint.
+// written by SaveCheckpoint. A file truncated mid-write or otherwise
+// unparseable fails with an error wrapping ErrCorruptCheckpoint, and the
+// agent's in-memory state is left untouched.
 func (c *Chiron) LoadCheckpoint(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -73,7 +86,7 @@ func (c *Chiron) LoadCheckpoint(path string) error {
 	}
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return fmt.Errorf("core: parse checkpoint: %w", err)
+		return fmt.Errorf("%w: parse %s: %v", ErrCorruptCheckpoint, path, err)
 	}
 	return c.Restore(&ck)
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCheckpointTruncated(t *testing.T) {
+	env := testEnv(t, 2, 100)
+	ch := newTestChiron(t, env)
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := ch.SaveCheckpoint(path); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.json")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	env2 := testEnv(t, 2, 100)
+	fresh := newTestChiron(t, env2)
+	before, err := fresh.RunEpisode(false)
+	if err != nil {
+		t.Fatalf("RunEpisode: %v", err)
+	}
+	if err := fresh.LoadCheckpoint(torn); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err %v, want ErrCorruptCheckpoint", err)
+	}
+	// The failed load must leave the agent usable with its prior weights.
+	after, err := fresh.RunEpisode(false)
+	if err != nil {
+		t.Fatalf("RunEpisode after failed load: %v", err)
+	}
+	if after.Rounds != before.Rounds {
+		t.Fatalf("failed load changed agent behavior: %d vs %d rounds", after.Rounds, before.Rounds)
+	}
+}
+
+func TestLoadCheckpointGarbage(t *testing.T) {
+	env := testEnv(t, 2, 100)
+	ch := newTestChiron(t, env)
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := ch.LoadCheckpoint(path); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestRestoreRejectsMissingSnapshots(t *testing.T) {
+	env := testEnv(t, 2, 100)
+	ch := newTestChiron(t, env)
+	ck := ch.Checkpoint()
+
+	missingInner := *ck
+	missingInner.Inner = nil
+	if err := ch.Restore(&missingInner); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("nil inner: err %v, want ErrCorruptCheckpoint", err)
+	}
+	missingExterior := *ck
+	missingExterior.Exterior = nil
+	if err := ch.Restore(&missingExterior); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("nil exterior: err %v, want ErrCorruptCheckpoint", err)
+	}
+	// Structurally empty JSON ({}): parses fine but has no snapshots.
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := ch.LoadCheckpoint(path); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("empty object: err %v, want ErrCorruptCheckpoint", err)
+	}
+	// A shape mismatch stays a distinct failure, not corruption.
+	env2 := testEnv(t, 3, 100)
+	other := newTestChiron(t, env2)
+	if err := other.Restore(ck); err == nil || errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("shape mismatch: err %v, want a non-corruption error", err)
+	}
+}

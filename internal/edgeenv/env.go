@@ -9,6 +9,13 @@
 // terminates when a round's payment would exceed the remaining budget —
 // that round is discarded per Sec. V-A — or when the MaxRounds safety cap
 // is hit.
+//
+// Beyond the paper's clean assumptions, the environment carries a failure
+// model (see DESIGN.md, "Failure model"): an injected fault schedule
+// (internal/faults) can crash, slow, drop, or corrupt recruited nodes; a
+// round deadline cuts stragglers; a completion quorum gates model
+// progress; and failed nodes earn a configurable fraction of their
+// contracted payment, keeping the ledger exact under churn.
 package edgeenv
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"chiron/internal/accuracy"
 	"chiron/internal/device"
+	"chiron/internal/faults"
 	"chiron/internal/market"
 	"chiron/internal/mat"
 )
@@ -56,6 +64,34 @@ type Config struct {
 	// Rng drives CommJitter and Availability draws. Required when either
 	// is enabled.
 	Rng *rand.Rand
+	// Faults schedules per-node, per-round failures (crash, straggle,
+	// upload drop, update corruption). Nil disables fault injection; a
+	// faults.Sampler keeps sampled runs seed-deterministic and a
+	// faults.Script reproduces an exact failure sequence.
+	Faults faults.Schedule
+	// RoundDeadline is the server's straggler cutoff in seconds: any node
+	// still running when it expires is cut, so the round time becomes
+	// min(RoundDeadline, max_i T_{i,k}). Zero disables the deadline (the
+	// paper's assumption — the server waits for the slowest node).
+	RoundDeadline float64
+	// MaxRetries bounds how many times the server re-requests a dropped
+	// upload before abandoning the node for the round. Zero means no
+	// retries: the first lost upload drops the node.
+	MaxRetries int
+	// RetryBackoff is the extra wall-clock pause (seconds) the server
+	// waits before each re-upload attempt, on top of the node's upload
+	// time itself.
+	RetryBackoff float64
+	// FailurePayment ∈ [0,1] is the fraction of a failed node's
+	// contracted payment the server still pays (crash, deadline cut,
+	// drop, or corruption). 0 — the default — pays failed nodes nothing,
+	// keeping the ledger's budget accounting exact under churn.
+	FailurePayment float64
+	// MinQuorum is the minimum number of completed updates required for
+	// the round to advance the global model. Rounds below quorum still
+	// cost time and failure payments but leave accuracy unchanged. Zero
+	// selects the default quorum of 1.
+	MinQuorum int
 }
 
 // DefaultConfig returns the paper's settings (λ=2000, L=4) for the given
@@ -100,6 +136,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("edgeenv: availability %v outside [0,1]", c.Availability)
 	case (c.CommJitter > 0 || (c.Availability > 0 && c.Availability < 1)) && c.Rng == nil:
 		return fmt.Errorf("edgeenv: CommJitter/Availability require a Rng")
+	case c.RoundDeadline < 0:
+		return fmt.Errorf("edgeenv: round deadline %v, want >= 0", c.RoundDeadline)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("edgeenv: max retries %d, want >= 0", c.MaxRetries)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("edgeenv: retry backoff %v, want >= 0", c.RetryBackoff)
+	case c.FailurePayment < 0 || c.FailurePayment > 1:
+		return fmt.Errorf("edgeenv: failure payment %v outside [0,1]", c.FailurePayment)
+	case c.MinQuorum < 0:
+		return fmt.Errorf("edgeenv: min quorum %d, want >= 0", c.MinQuorum)
+	case c.MinQuorum > len(c.Nodes):
+		return fmt.Errorf("edgeenv: min quorum %d exceeds fleet size %d", c.MinQuorum, len(c.Nodes))
 	}
 	for _, n := range c.Nodes {
 		if err := n.Validate(); err != nil {
@@ -112,7 +160,9 @@ func (c Config) Validate() error {
 // StepResult reports the outcome of one environment step.
 type StepResult struct {
 	// Round is the committed round record (zero-valued when Done is set by
-	// budget exhaustion, since the overrunning round is discarded).
+	// budget exhaustion, since the overrunning round is discarded). Its
+	// Outcomes field carries the per-node completed / crashed /
+	// deadline-cut / dropped / corrupted status.
 	Round market.Round
 	// ExteriorReward is r^E_k = λΔA − TimeWeight·T_k (Eqn. 14).
 	ExteriorReward float64
@@ -243,6 +293,17 @@ func (e *Env) ExteriorState() []float64 {
 // Step plays one round with the given per-node price vector. It returns
 // the rewards and whether the episode terminated. Stepping a finished
 // episode is an error; call Reset first.
+//
+// With a fault schedule configured, each recruited node passes through the
+// failure pipeline: a Crash silences it (the server waits out the deadline,
+// or the node's nominal finish time when no deadline is set), a Straggle
+// multiplies its round time, a Drop costs retry churn and abandons the node
+// once MaxRetries is exhausted, and a Corrupt upload is rejected at
+// sanitization. Any node still running at RoundDeadline is cut, so the
+// round time is min(deadline, max_i T_{i,k}). Failed nodes earn
+// FailurePayment·payment (0 by default); the budget pre-check uses the full
+// contracted payment so the ledger can never overdraw even if every node
+// completes.
 func (e *Env) Step(prices []float64) (StepResult, error) {
 	if e.done {
 		return StepResult{}, fmt.Errorf("edgeenv: step on finished episode")
@@ -252,11 +313,14 @@ func (e *Env) Step(prices []float64) (StepResult, error) {
 	}
 	n := len(e.cfg.Nodes)
 	round := market.Round{
-		Prices: mat.CloneVec(prices),
-		Freqs:  make([]float64, n),
-		Times:  make([]float64, n),
+		Prices:   mat.CloneVec(prices),
+		Freqs:    make([]float64, n),
+		Times:    make([]float64, n),
+		Outcomes: make([]market.Outcome, n),
 	}
-	var participants []int
+	deadline := e.cfg.RoundDeadline
+	var completed []int
+	var contracted float64 // worst-case payment if every joiner completes
 	for i, node := range e.cfg.Nodes {
 		if e.cfg.Availability > 0 && e.cfg.Availability < 1 && e.cfg.Rng.Float64() >= e.cfg.Availability {
 			continue // node offline this round
@@ -269,12 +333,62 @@ func (e *Env) Step(prices []float64) (StepResult, error) {
 		if !resp.Participating {
 			continue
 		}
+		round.Participants++
 		round.Freqs[i] = resp.Freq
-		round.Times[i] = resp.Time
-		round.Payment += resp.Payment
-		participants = append(participants, i)
+		contracted += resp.Payment
+		t := resp.Time
+		outcome := market.OutcomeCompleted
+		if e.cfg.Faults != nil {
+			if f, ok := e.cfg.Faults.At(e.round, i); ok {
+				switch f.Kind {
+				case faults.Crash:
+					outcome = market.OutcomeCrashed
+					// A crashed node goes silent: the server learns of the
+					// failure only by waiting — until the deadline when one
+					// is set, else until the node's expected finish time.
+					if deadline > 0 {
+						t = deadline
+					}
+				case faults.Straggle:
+					if f.Slowdown > 1 {
+						t *= f.Slowdown
+					}
+				case faults.Drop:
+					// Each lost upload costs a re-upload plus backoff; the
+					// node is abandoned once the retry budget runs out.
+					retries := f.Attempts
+					if retries > e.cfg.MaxRetries {
+						retries = e.cfg.MaxRetries
+						outcome = market.OutcomeDropped
+					}
+					t += float64(retries) * (commTime + e.cfg.RetryBackoff)
+					if outcome == market.OutcomeDropped {
+						// The final, abandoned attempt still burned its
+						// upload time before the server gave up.
+						t += commTime
+					}
+				case faults.Corrupt:
+					// The upload lands on time but fails sanitization.
+					outcome = market.OutcomeCorrupted
+				}
+			}
+		}
+		if deadline > 0 && t > deadline {
+			t = deadline
+			if outcome == market.OutcomeCompleted {
+				outcome = market.OutcomeDeadlineCut
+			}
+		}
+		round.Times[i] = t
+		round.Outcomes[i] = outcome
+		if outcome == market.OutcomeCompleted {
+			round.Payment += resp.Payment
+			completed = append(completed, i)
+		} else {
+			round.Payment += resp.Payment * e.cfg.FailurePayment
+		}
 	}
-	round.Participants = len(participants)
+	round.Completed = len(completed)
 
 	// An offer that attracts no participants trains nothing but still
 	// costs the server a full offer timeout of wall-clock time before it
@@ -304,15 +418,29 @@ func (e *Env) Step(prices []float64) (StepResult, error) {
 	}
 
 	// Budget check happens before any training: an overrunning round is
-	// discarded wholesale and the episode ends (Sec. V-A).
-	if round.Payment > e.ledger.Remaining() {
+	// discarded wholesale and the episode ends (Sec. V-A). The check uses
+	// the full contracted payment — what the server owes if every joiner
+	// completes — so the commitment is affordable in the worst case; the
+	// actual payment (failures refunded) can only be smaller.
+	if contracted > e.ledger.Remaining() {
 		e.done = true
 		return StepResult{Done: true}, nil
 	}
 
-	acc, err := e.cfg.Accuracy.Advance(participants)
-	if err != nil {
-		return StepResult{}, fmt.Errorf("edgeenv: advance accuracy: %w", err)
+	// A round below the completion quorum trains nothing: the global model
+	// (and accuracy) stays where it was, but the time was spent and any
+	// failure payments are still owed, so the round commits regardless.
+	acc := e.lastAcc
+	minQuorum := e.cfg.MinQuorum
+	if minQuorum <= 0 {
+		minQuorum = 1
+	}
+	if len(completed) >= minQuorum {
+		var err error
+		acc, err = e.cfg.Accuracy.Advance(completed)
+		if err != nil {
+			return StepResult{}, fmt.Errorf("edgeenv: advance accuracy: %w", err)
+		}
 	}
 	round.Accuracy = acc
 	if err := e.ledger.Commit(round); err != nil {

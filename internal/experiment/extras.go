@@ -10,6 +10,7 @@ import (
 	"chiron/internal/dataset"
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
+	"chiron/internal/faults"
 	"chiron/internal/fl"
 	"chiron/internal/nn"
 )
@@ -21,18 +22,19 @@ const (
 	AblReward Artifact = "abl-reward" // Eqn. 9 vs literal Eqn. 14 time weighting
 	AblRobust Artifact = "abl-robust" // frozen policy under bandwidth jitter / node churn
 	AblNonIID Artifact = "abl-noniid" // real FedAvg training, IID vs Dirichlet splits
+	AblFaults Artifact = "abl-faults" // frozen policy under escalating injected faults
 )
 
 // ExtraArtifacts lists the ablation studies.
 func ExtraArtifacts() []Artifact {
-	return []Artifact{AblLambda, AblReward, AblRobust, AblNonIID}
+	return []Artifact{AblLambda, AblReward, AblRobust, AblNonIID, AblFaults}
 }
 
 // IsExtra reports whether the artifact is an ablation study rather than a
 // paper figure/table.
 func IsExtra(a Artifact) bool {
 	switch a {
-	case AblLambda, AblReward, AblRobust, AblNonIID:
+	case AblLambda, AblReward, AblRobust, AblNonIID, AblFaults:
 		return true
 	default:
 		return false
@@ -50,6 +52,8 @@ func DescribeExtra(a Artifact) string {
 		return "Ablation: trained policy under bandwidth jitter and node churn"
 	case AblNonIID:
 		return "Ablation: real FedAvg training under IID vs Dirichlet non-IID splits"
+	case AblFaults:
+		return "Ablation: trained policy under escalating crash/straggler/drop/corruption faults"
 	default:
 		return fmt.Sprintf("unknown ablation %q", a)
 	}
@@ -70,6 +74,8 @@ func RunExtra(a Artifact, scale float64) (string, error) {
 		return runRobustnessAblation(scale)
 	case AblNonIID:
 		return runNonIIDAblation(scale)
+	case AblFaults:
+		return runFaultSweep(scale)
 	default:
 		return "", fmt.Errorf("experiment: unknown ablation %q", a)
 	}
@@ -250,6 +256,101 @@ func runRobustnessAblation(scale float64) (string, error) {
 		DescribeExtra(AblRobust),
 		fmt.Sprintf("%-26s %10s %8s %10s", "scenario", "accuracy", "rounds", "time-eff"),
 		rows), nil
+}
+
+// FleetDeadline returns the round deadline the fault experiments use: 20%
+// above the slowest clean response the fleet can produce (minimum
+// frequency, nominal upload), so no healthy node is ever cut but crashed
+// nodes time out and ≥1.5× stragglers lose the round.
+func FleetDeadline(nodes []*device.Node) float64 {
+	var worst float64
+	for _, n := range nodes {
+		if t := n.ComputeTime(n.FreqMin) + n.CommTime; t > worst {
+			worst = t
+		}
+	}
+	return worst * 1.2
+}
+
+// runFaultSweep trains Chiron on the clean environment once, then
+// evaluates the frozen policy under escalating injected fault rates — the
+// degradation table for crash, straggler, upload-drop, and corruption
+// failures combined with a round deadline and zero failure payment.
+func runFaultSweep(scale float64) (string, error) {
+	const seed = 7
+	clean, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	ch, err := core.New(clean, TunedChironConfig(seed))
+	if err != nil {
+		return "", err
+	}
+	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
+		return "", err
+	}
+	ck := ch.Checkpoint()
+
+	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(5))
+	if err != nil {
+		return "", err
+	}
+	base := faults.Rates{Crash: 0.02, Straggle: 0.05, Drop: 0.05, Corrupt: 0.02}
+	levels := []struct {
+		name  string
+		rates faults.Rates
+	}{
+		{"clean", faults.Rates{}},
+		{"light (1x)", base},
+		{"moderate (3x)", base.Scale(3)},
+		{"severe (6x)", base.Scale(6)},
+	}
+	deadline := FleetDeadline(fleet)
+	rows := make([]string, 0, len(levels))
+	for _, lv := range levels {
+		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+		if err != nil {
+			return "", err
+		}
+		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+		if lv.rates.Any() {
+			sampler, err := faults.NewSampler(lv.rates, seed+3)
+			if err != nil {
+				return "", err
+			}
+			cfg.Faults = sampler
+			cfg.RoundDeadline = deadline
+			cfg.MaxRetries = 2
+			cfg.RetryBackoff = 1
+		}
+		env, err := edgeenv.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		agent, err := core.New(env, TunedChironConfig(seed))
+		if err != nil {
+			return "", err
+		}
+		if err := agent.Restore(ck); err != nil {
+			return "", err
+		}
+		res, err := agent.Evaluate(3)
+		if err != nil {
+			return "", err
+		}
+		// The ledger still holds the last evaluation episode, so its
+		// per-round outcomes give a representative failure count.
+		var failures int
+		for _, r := range env.Ledger().Rounds() {
+			failures += r.Failures()
+		}
+		rows = append(rows, fmt.Sprintf("%-16s %10.3f %8d %10.1f%% %10d",
+			lv.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, failures))
+	}
+	return renderRows(
+		DescribeExtra(AblFaults),
+		fmt.Sprintf("%-16s %10s %8s %10s %10s", "fault level", "accuracy", "rounds", "time-eff", "failures*"),
+		rows) + "(*failures counted over the final evaluation episode)\n", nil
 }
 
 // runNonIIDAblation runs real FedAvg training (no surrogate) with IID and

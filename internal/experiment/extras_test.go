@@ -7,8 +7,8 @@ import (
 
 func TestExtraRegistry(t *testing.T) {
 	extras := ExtraArtifacts()
-	if len(extras) != 4 {
-		t.Fatalf("extras %d, want 4", len(extras))
+	if len(extras) != 5 {
+		t.Fatalf("extras %d, want 5", len(extras))
 	}
 	for _, a := range extras {
 		if !IsExtra(a) {
@@ -77,6 +77,18 @@ func TestRunExtraNonIIDTiny(t *testing.T) {
 		t.Fatalf("RunExtra: %v", err)
 	}
 	for _, want := range []string{"iid", "dirichlet", "shards"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunExtraFaultSweepTiny(t *testing.T) {
+	report, err := RunExtra(AblFaults, 0.002)
+	if err != nil {
+		t.Fatalf("RunExtra: %v", err)
+	}
+	for _, want := range []string{"clean", "light", "moderate", "severe", "failures"} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
 		}

@@ -38,7 +38,15 @@ func (m *MomentumServer) Global() []float64 { return m.server.Global() }
 func (m *MomentumServer) Evaluate() (float64, error) { return m.server.Evaluate() }
 
 // Aggregate applies FedAvgM: Δ = avg(updates) − ω; v ← βv + Δ; ω ← ω + v.
+// Non-finite updates are rejected with a *CorruptUpdateError before either
+// the velocity buffer or the global model is touched, matching the plain
+// server's guard.
 func (m *MomentumServer) Aggregate(updates []Update) error {
+	for _, u := range updates {
+		if j, bad := firstNonFinite(u.Params); bad {
+			return &CorruptUpdateError{Client: u.Client, Reason: fmt.Sprintf("non-finite parameter %v at index %d", u.Params[j], j)}
+		}
+	}
 	before := m.server.Global()
 	if err := m.server.Aggregate(updates); err != nil {
 		return err

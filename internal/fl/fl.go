@@ -157,13 +157,21 @@ func (s *Server) Global() []float64 {
 
 // Update is one client's round contribution.
 type Update struct {
-	Params  []float64
+	// Client identifies the uploading client, so rejections can name the
+	// offender.
+	Client int
+	Params []float64
+	// Samples is |D_i|, the FedAvg weight.
 	Samples int
 }
 
 // Aggregate applies FedAvg (Eqn. 4): the new global model is the
 // sample-count-weighted average of the uploaded parameter vectors. Updates
-// with no samples or mismatched sizes are rejected.
+// with no samples, mismatched sizes, or non-finite (NaN/±Inf) parameters
+// are rejected — a single poisoned vector would otherwise silently spread
+// through the weighted average into the global model. Non-finite updates
+// surface as a *CorruptUpdateError naming the offending client, and the
+// global model is left untouched on any error.
 func (s *Server) Aggregate(updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("fl: aggregate with no updates")
@@ -175,6 +183,9 @@ func (s *Server) Aggregate(updates []Update) error {
 		}
 		if u.Samples <= 0 {
 			return fmt.Errorf("fl: update %d has %d samples", i, u.Samples)
+		}
+		if j, bad := firstNonFinite(u.Params); bad {
+			return &CorruptUpdateError{Client: u.Client, Reason: fmt.Sprintf("non-finite parameter %v at index %d", u.Params[j], j)}
 		}
 		total += float64(u.Samples)
 	}

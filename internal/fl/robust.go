@@ -1,0 +1,178 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CorruptUpdateError reports a client upload rejected by sanitization; it
+// names the offending client so the caller can exclude, refuse payment to,
+// or log it.
+type CorruptUpdateError struct {
+	Client int
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptUpdateError) Error() string {
+	return fmt.Sprintf("fl: corrupt update from client %d: %s", e.Client, e.Reason)
+}
+
+// ErrQuorum is returned by AggregateRobust when fewer updates survive
+// sanitization than the configured minimum quorum. The global model is
+// left untouched; the caller skips the round and carries on.
+var ErrQuorum = errors.New("fl: aggregation quorum not met")
+
+// firstNonFinite returns the index of the first NaN/±Inf entry, if any.
+func firstNonFinite(params []float64) (int, bool) {
+	for i, v := range params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RobustConfig parameterizes sanitize-then-aggregate.
+type RobustConfig struct {
+	// MinQuorum is the minimum number of accepted updates required to
+	// touch the global model. Zero selects the default quorum of 1.
+	MinQuorum int
+	// MaxDeltaNorm rejects any update whose L2 distance from the current
+	// global model exceeds this bound — the norm-blowup screen. Zero
+	// disables the check.
+	MaxDeltaNorm float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c RobustConfig) Validate() error {
+	if c.MinQuorum < 0 {
+		return fmt.Errorf("fl: min quorum %d, want >= 0", c.MinQuorum)
+	}
+	if c.MaxDeltaNorm < 0 || math.IsNaN(c.MaxDeltaNorm) {
+		return fmt.Errorf("fl: max delta norm %v, want >= 0", c.MaxDeltaNorm)
+	}
+	return nil
+}
+
+// Rejection records one update excluded by sanitization.
+type Rejection struct {
+	Client int
+	Reason string
+}
+
+// Sanitize splits updates into the ones safe to aggregate and the ones
+// rejected: wrong length, non-positive samples, non-finite parameters, or
+// (when maxDeltaNorm > 0) an L2 distance from global beyond the bound.
+// The accepted slice preserves input order.
+func Sanitize(updates []Update, global []float64, maxDeltaNorm float64) (accepted []Update, rejected []Rejection) {
+	for _, u := range updates {
+		switch {
+		case len(u.Params) != len(global):
+			rejected = append(rejected, Rejection{Client: u.Client,
+				Reason: fmt.Sprintf("%d params, want %d", len(u.Params), len(global))})
+		case u.Samples <= 0:
+			rejected = append(rejected, Rejection{Client: u.Client,
+				Reason: fmt.Sprintf("%d samples", u.Samples)})
+		default:
+			if j, bad := firstNonFinite(u.Params); bad {
+				rejected = append(rejected, Rejection{Client: u.Client,
+					Reason: fmt.Sprintf("non-finite parameter %v at index %d", u.Params[j], j)})
+				continue
+			}
+			if maxDeltaNorm > 0 {
+				var sq float64
+				for i, v := range u.Params {
+					d := v - global[i]
+					sq += d * d
+				}
+				if norm := math.Sqrt(sq); norm > maxDeltaNorm {
+					rejected = append(rejected, Rejection{Client: u.Client,
+						Reason: fmt.Sprintf("update norm %.3g exceeds bound %.3g", norm, maxDeltaNorm)})
+					continue
+				}
+			}
+			accepted = append(accepted, u)
+		}
+	}
+	return accepted, rejected
+}
+
+// AggregateRobust sanitizes the updates, enforces the quorum, and FedAvgs
+// the survivors. It returns the rejections (possibly empty) alongside any
+// error; on ErrQuorum the global model is unchanged and the rejections
+// explain which uploads were lost.
+func (s *Server) AggregateRobust(updates []Update, cfg RobustConfig) ([]Rejection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	accepted, rejected := Sanitize(updates, s.global, cfg.MaxDeltaNorm)
+	minQuorum := cfg.MinQuorum
+	if minQuorum <= 0 {
+		minQuorum = 1
+	}
+	if len(accepted) < minQuorum {
+		return rejected, fmt.Errorf("%w: %d accepted of %d uploaded, need %d",
+			ErrQuorum, len(accepted), len(updates), minQuorum)
+	}
+	return rejected, s.Aggregate(accepted)
+}
+
+// AggregateRobust is the MomentumServer counterpart: sanitization and the
+// quorum gate run against the inner server's global model, then the
+// surviving updates pass through the FedAvgM momentum step.
+func (m *MomentumServer) AggregateRobust(updates []Update, cfg RobustConfig) ([]Rejection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	accepted, rejected := Sanitize(updates, m.server.global, cfg.MaxDeltaNorm)
+	minQuorum := cfg.MinQuorum
+	if minQuorum <= 0 {
+		minQuorum = 1
+	}
+	if len(accepted) < minQuorum {
+		return rejected, fmt.Errorf("%w: %d accepted of %d uploaded, need %d",
+			ErrQuorum, len(accepted), len(updates), minQuorum)
+	}
+	return rejected, m.Aggregate(accepted)
+}
+
+// Uplink simulates an unreliable client→server upload channel with bounded
+// retry: each attempt independently fails with DropRate, and the server
+// re-requests up to MaxRetries times before abandoning the upload. All
+// randomness flows through the injected rng, so a seeded run is exactly
+// reproducible.
+type Uplink struct {
+	dropRate   float64
+	maxRetries int
+	rng        *rand.Rand
+}
+
+// NewUplink builds an uplink. dropRate must lie in [0,1); maxRetries >= 0.
+func NewUplink(dropRate float64, maxRetries int, rng *rand.Rand) (*Uplink, error) {
+	switch {
+	case dropRate < 0 || dropRate >= 1 || math.IsNaN(dropRate):
+		return nil, fmt.Errorf("fl: uplink drop rate %v outside [0,1)", dropRate)
+	case maxRetries < 0:
+		return nil, fmt.Errorf("fl: uplink max retries %d, want >= 0", maxRetries)
+	case dropRate > 0 && rng == nil:
+		return nil, fmt.Errorf("fl: uplink with drop rate needs a rng")
+	}
+	return &Uplink{dropRate: dropRate, maxRetries: maxRetries, rng: rng}, nil
+}
+
+// Send plays one upload: it returns how many attempts were consumed and
+// whether the update ultimately landed. Attempts is always in
+// [1, maxRetries+1].
+func (u *Uplink) Send() (attempts int, ok bool) {
+	for attempts = 1; ; attempts++ {
+		if u.dropRate == 0 || u.rng.Float64() >= u.dropRate {
+			return attempts, true
+		}
+		if attempts > u.maxRetries {
+			return attempts, false
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package fl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func vecEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAggregateRejectsNonFinite(t *testing.T) {
+	d := testData(t, 40, 31)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	before := srv.Global()
+	for name, poison := range map[string]float64{
+		"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1),
+	} {
+		bad := srv.Global()
+		bad[3] = poison
+		err := srv.Aggregate([]Update{
+			{Client: 0, Params: srv.Global(), Samples: 10},
+			{Client: 7, Params: bad, Samples: 10},
+		})
+		if err == nil {
+			t.Fatalf("%s update accepted", name)
+		}
+		var corrupt *CorruptUpdateError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("%s: error %T, want *CorruptUpdateError", name, err)
+		}
+		if corrupt.Client != 7 {
+			t.Fatalf("%s: blamed client %d, want 7", name, corrupt.Client)
+		}
+		if !strings.Contains(err.Error(), "client 7") {
+			t.Fatalf("%s: message does not name the client: %v", name, err)
+		}
+		if !vecEqual(srv.Global(), before) {
+			t.Fatalf("%s: rejected aggregation mutated the global model", name)
+		}
+	}
+}
+
+func TestMomentumAggregateRejectsNonFiniteUntouched(t *testing.T) {
+	d := testData(t, 40, 33)
+	base, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(34)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	m, err := NewMomentumServer(base, 0.9)
+	if err != nil {
+		t.Fatalf("NewMomentumServer: %v", err)
+	}
+	// Seed the velocity buffer with one clean step.
+	clean := m.Global()
+	for i := range clean {
+		clean[i] += 0.5
+	}
+	if err := m.Aggregate([]Update{{Client: 0, Params: clean, Samples: 10}}); err != nil {
+		t.Fatalf("clean Aggregate: %v", err)
+	}
+	globalBefore := m.Global()
+	velocityBefore := append([]float64(nil), m.velocity...)
+
+	bad := m.Global()
+	bad[0] = math.NaN()
+	err = m.Aggregate([]Update{{Client: 3, Params: bad, Samples: 10}})
+	var corrupt *CorruptUpdateError
+	if !errors.As(err, &corrupt) || corrupt.Client != 3 {
+		t.Fatalf("error %v, want *CorruptUpdateError for client 3", err)
+	}
+	if !vecEqual(m.Global(), globalBefore) {
+		t.Fatal("rejected update mutated the global model")
+	}
+	if !vecEqual(m.velocity, velocityBefore) {
+		t.Fatal("rejected update mutated the velocity buffer")
+	}
+}
+
+func TestSanitizeReasons(t *testing.T) {
+	global := []float64{0, 0, 0, 0}
+	updates := []Update{
+		{Client: 0, Params: []float64{1, 1, 1, 1}, Samples: 5},          // fine
+		{Client: 1, Params: []float64{1, 1}, Samples: 5},                // wrong length
+		{Client: 2, Params: []float64{1, 1, 1, 1}, Samples: 0},          // no samples
+		{Client: 3, Params: []float64{1, math.NaN(), 1, 1}, Samples: 5}, // non-finite
+		{Client: 4, Params: []float64{1e9, 0, 0, 0}, Samples: 5},        // norm blowup
+	}
+	accepted, rejected := Sanitize(updates, global, 100)
+	if len(accepted) != 1 || accepted[0].Client != 0 {
+		t.Fatalf("accepted %v, want only client 0", accepted)
+	}
+	if len(rejected) != 4 {
+		t.Fatalf("rejected %d updates, want 4", len(rejected))
+	}
+	wantReason := map[int]string{1: "params", 2: "samples", 3: "non-finite", 4: "norm"}
+	for _, r := range rejected {
+		want, ok := wantReason[r.Client]
+		if !ok {
+			t.Fatalf("unexpected rejection of client %d", r.Client)
+		}
+		if !strings.Contains(r.Reason, want) {
+			t.Fatalf("client %d reason %q missing %q", r.Client, r.Reason, want)
+		}
+	}
+	// MaxDeltaNorm 0 disables the norm screen only.
+	accepted, _ = Sanitize(updates, global, 0)
+	if len(accepted) != 2 {
+		t.Fatalf("norm screen off: accepted %d, want 2", len(accepted))
+	}
+}
+
+func TestAggregateRobustQuorum(t *testing.T) {
+	d := testData(t, 40, 35)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(36)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	before := srv.Global()
+	bad := srv.Global()
+	bad[0] = math.Inf(1)
+	good := srv.Global()
+	for i := range good {
+		good[i] += 0.1
+	}
+	// One survivor against a quorum of two: the round must be refused.
+	rej, err := srv.AggregateRobust([]Update{
+		{Client: 0, Params: good, Samples: 10},
+		{Client: 1, Params: bad, Samples: 10},
+	}, RobustConfig{MinQuorum: 2})
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("error %v, want ErrQuorum", err)
+	}
+	if len(rej) != 1 || rej[0].Client != 1 {
+		t.Fatalf("rejections %v, want client 1", rej)
+	}
+	if !vecEqual(srv.Global(), before) {
+		t.Fatal("quorum-failed round mutated the global model")
+	}
+	// With quorum 1 the survivor is enough and the bad update is screened.
+	rej, err = srv.AggregateRobust([]Update{
+		{Client: 0, Params: good, Samples: 10},
+		{Client: 1, Params: bad, Samples: 10},
+	}, RobustConfig{MinQuorum: 1})
+	if err != nil {
+		t.Fatalf("AggregateRobust: %v", err)
+	}
+	if len(rej) != 1 {
+		t.Fatalf("rejections %d, want 1", len(rej))
+	}
+	if !vecEqual(srv.Global(), good) {
+		t.Fatal("surviving update was not aggregated")
+	}
+}
+
+func TestAggregateRobustNormScreen(t *testing.T) {
+	d := testData(t, 40, 37)
+	srv, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(38)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	blown := srv.Global()
+	for i := range blown {
+		blown[i] *= 1e9
+	}
+	rej, err := srv.AggregateRobust([]Update{
+		{Client: 5, Params: blown, Samples: 10},
+	}, RobustConfig{MaxDeltaNorm: 1e6})
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("error %v, want ErrQuorum after norm rejection", err)
+	}
+	if len(rej) != 1 || rej[0].Client != 5 {
+		t.Fatalf("rejections %v, want client 5", rej)
+	}
+}
+
+func TestMomentumAggregateRobust(t *testing.T) {
+	d := testData(t, 40, 39)
+	base, err := NewServer(d, mlpFactory(d.Dim(), 4, 10), rand.New(rand.NewSource(40)))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	m, err := NewMomentumServer(base, 0.5)
+	if err != nil {
+		t.Fatalf("NewMomentumServer: %v", err)
+	}
+	before := m.Global()
+	bad := m.Global()
+	bad[1] = math.NaN()
+	rej, err := m.AggregateRobust([]Update{{Client: 2, Params: bad, Samples: 10}}, RobustConfig{})
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("error %v, want ErrQuorum", err)
+	}
+	if len(rej) != 1 || rej[0].Client != 2 {
+		t.Fatalf("rejections %v, want client 2", rej)
+	}
+	if !vecEqual(m.Global(), before) {
+		t.Fatal("quorum-failed momentum round mutated the global model")
+	}
+	good := m.Global()
+	for i := range good {
+		good[i] += 0.2
+	}
+	if _, err := m.AggregateRobust([]Update{{Client: 0, Params: good, Samples: 10}}, RobustConfig{}); err != nil {
+		t.Fatalf("clean AggregateRobust: %v", err)
+	}
+	if vecEqual(m.Global(), before) {
+		t.Fatal("clean momentum round left the global model unchanged")
+	}
+}
+
+func TestRobustConfigValidate(t *testing.T) {
+	if err := (RobustConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (RobustConfig{MinQuorum: -1}).Validate(); err == nil {
+		t.Fatal("negative quorum accepted")
+	}
+	if err := (RobustConfig{MaxDeltaNorm: -1}).Validate(); err == nil {
+		t.Fatal("negative norm bound accepted")
+	}
+	if err := (RobustConfig{MaxDeltaNorm: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN norm bound accepted")
+	}
+}
+
+func TestUplinkValidation(t *testing.T) {
+	if _, err := NewUplink(1.0, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("drop rate 1 accepted")
+	}
+	if _, err := NewUplink(-0.1, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative drop rate accepted")
+	}
+	if _, err := NewUplink(0.5, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	if _, err := NewUplink(0.5, 2, nil); err == nil {
+		t.Fatal("lossy uplink without rng accepted")
+	}
+	if _, err := NewUplink(0, 0, nil); err != nil {
+		t.Fatalf("lossless uplink rejected: %v", err)
+	}
+}
+
+func TestUplinkDeterministicAndBounded(t *testing.T) {
+	const maxRetries = 3
+	run := func(seed int64) ([]int, []bool) {
+		u, err := NewUplink(0.4, maxRetries, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("NewUplink: %v", err)
+		}
+		attempts := make([]int, 200)
+		oks := make([]bool, 200)
+		for i := range attempts {
+			attempts[i], oks[i] = u.Send()
+		}
+		return attempts, oks
+	}
+	a1, ok1 := run(9)
+	a2, ok2 := run(9)
+	var anyDrop, anyOK bool
+	for i := range a1 {
+		if a1[i] != a2[i] || ok1[i] != ok2[i] {
+			t.Fatalf("send %d differs across identically-seeded uplinks", i)
+		}
+		if a1[i] < 1 || a1[i] > maxRetries+1 {
+			t.Fatalf("attempts %d outside [1,%d]", a1[i], maxRetries+1)
+		}
+		if !ok1[i] {
+			anyDrop = true
+			if a1[i] != maxRetries+1 {
+				t.Fatalf("failed send used %d attempts, want the full %d", a1[i], maxRetries+1)
+			}
+		} else {
+			anyOK = true
+		}
+	}
+	if !anyDrop || !anyOK {
+		t.Fatal("40% drop rate over 200 sends produced no mix of outcomes")
+	}
+
+	// A lossless uplink always lands first try.
+	u, err := NewUplink(0, 5, nil)
+	if err != nil {
+		t.Fatalf("NewUplink: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if attempts, ok := u.Send(); !ok || attempts != 1 {
+			t.Fatalf("lossless send: %d attempts, ok=%v", attempts, ok)
+		}
+	}
+}

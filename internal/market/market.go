@@ -10,6 +10,62 @@ import (
 	"chiron/internal/mat"
 )
 
+// Outcome classifies how one node's round ended. The zero value is
+// OutcomeAbsent so that clean pre-failure-model records stay valid.
+type Outcome uint8
+
+// The per-node round outcomes.
+const (
+	// OutcomeAbsent means the node never joined: it declined the posted
+	// price or was offline.
+	OutcomeAbsent Outcome = iota
+	// OutcomeCompleted means the node trained, uploaded, and its update
+	// entered aggregation.
+	OutcomeCompleted
+	// OutcomeCrashed means the node died mid-round and went silent.
+	OutcomeCrashed
+	// OutcomeDeadlineCut means the node was still running when the round
+	// deadline expired and the server cut it off.
+	OutcomeDeadlineCut
+	// OutcomeDropped means the node's upload was lost more times than the
+	// server's retry budget allowed.
+	OutcomeDropped
+	// OutcomeCorrupted means the upload arrived but failed sanitization
+	// (non-finite or norm-exploded parameters) and was rejected.
+	OutcomeCorrupted
+)
+
+// String implements fmt.Stringer with stable, trace-friendly names.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAbsent:
+		return "absent"
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeCrashed:
+		return "crashed"
+	case OutcomeDeadlineCut:
+		return "deadline-cut"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeCorrupted:
+		return "corrupted"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Failed reports whether the outcome is a failure of a node that had
+// joined the round (absent nodes never started, completed nodes finished).
+func (o Outcome) Failed() bool {
+	switch o {
+	case OutcomeCrashed, OutcomeDeadlineCut, OutcomeDropped, OutcomeCorrupted:
+		return true
+	default:
+		return false
+	}
+}
+
 // Round is the complete record of one training round, the tuple
 // {ζ_k, p_k, T_k} the paper stores in the exterior state.
 type Round struct {
@@ -21,12 +77,31 @@ type Round struct {
 	Freqs []float64
 	// Times is T_k's per-node vector: each node's round time (0 = declined).
 	Times []float64
-	// Payment is Σ p_{i,k}·ζ_{i,k}, the budget consumed.
+	// Outcomes is the per-node end-of-round status. A nil slice (legacy
+	// records) means every participant completed.
+	Outcomes []Outcome
+	// Payment is the budget actually consumed: full price·freq for
+	// completed nodes plus the configured failure fraction for failed ones.
 	Payment float64
-	// Accuracy is A(ω_k) after this round's aggregation.
+	// Accuracy is A(ω_k) after this round's aggregation (unchanged from
+	// the previous round when the completion quorum was missed).
 	Accuracy float64
 	// Participants counts nodes that joined the round.
 	Participants int
+	// Completed counts joined nodes whose updates entered aggregation.
+	// Zero-valued legacy records imply Completed == Participants.
+	Completed int
+}
+
+// Failures counts joined nodes that did not complete the round.
+func (r *Round) Failures() int {
+	var n int
+	for _, o := range r.Outcomes {
+		if o.Failed() {
+			n++
+		}
+	}
+	return n
 }
 
 // RoundTime returns T_k = max_i T_{i,k}, the wall-clock length of the

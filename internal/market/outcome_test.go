@@ -1,0 +1,54 @@
+package market
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutcomeStringsStable(t *testing.T) {
+	// Trace files serialize these names; changing one breaks old traces.
+	want := map[Outcome]string{
+		OutcomeAbsent:      "absent",
+		OutcomeCompleted:   "completed",
+		OutcomeCrashed:     "crashed",
+		OutcomeDeadlineCut: "deadline-cut",
+		OutcomeDropped:     "dropped",
+		OutcomeCorrupted:   "corrupted",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+	if !strings.Contains(Outcome(200).String(), "200") {
+		t.Errorf("unknown outcome string %q does not carry the value", Outcome(200).String())
+	}
+}
+
+func TestOutcomeFailed(t *testing.T) {
+	for _, o := range []Outcome{OutcomeCrashed, OutcomeDeadlineCut, OutcomeDropped, OutcomeCorrupted} {
+		if !o.Failed() {
+			t.Errorf("%v not counted as failed", o)
+		}
+	}
+	for _, o := range []Outcome{OutcomeAbsent, OutcomeCompleted} {
+		if o.Failed() {
+			t.Errorf("%v counted as failed", o)
+		}
+	}
+}
+
+func TestRoundFailures(t *testing.T) {
+	legacy := Round{Participants: 2} // nil Outcomes: pre-failure-model record
+	if legacy.Failures() != 0 {
+		t.Fatalf("legacy round failures %d, want 0", legacy.Failures())
+	}
+	r := Round{
+		Participants: 3,
+		Completed:    1,
+		Outcomes:     []Outcome{OutcomeCompleted, OutcomeCrashed, OutcomeAbsent, OutcomeDropped},
+	}
+	if r.Failures() != 2 {
+		t.Fatalf("failures %d, want 2", r.Failures())
+	}
+}

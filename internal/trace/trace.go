@@ -7,6 +7,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,7 +25,10 @@ const (
 	KindEpisode RecordKind = "episode"
 )
 
-// RoundRecord is one training round of one episode.
+// RoundRecord is one training round of one episode. Completed and Outcomes
+// carry the failure model's per-node status; both are omitted for clean
+// rounds where every participant completed, so pre-failure-model traces
+// and fault-free runs serialize identically to the legacy format.
 type RoundRecord struct {
 	Kind         RecordKind `json:"kind"`
 	Episode      int        `json:"episode"`
@@ -35,6 +39,8 @@ type RoundRecord struct {
 	Payment      float64    `json:"payment"`
 	Accuracy     float64    `json:"accuracy"`
 	Participants int        `json:"participants"`
+	Completed    int        `json:"completed,omitempty"`
+	Outcomes     []string   `json:"outcomes,omitempty"`
 }
 
 // EpisodeRecord summarizes one finished episode.
@@ -78,7 +84,9 @@ func Create(path string) (*Writer, error) {
 	return NewWriter(f), nil
 }
 
-// WriteRound appends one round record.
+// WriteRound appends one round record. Per-node outcomes are recorded only
+// when the round saw at least one failure, keeping clean traces byte-
+// compatible with the legacy format.
 func (t *Writer) WriteRound(episode int, r *market.Round) error {
 	rec := RoundRecord{
 		Kind:         KindRound,
@@ -90,6 +98,13 @@ func (t *Writer) WriteRound(episode int, r *market.Round) error {
 		Payment:      r.Payment,
 		Accuracy:     r.Accuracy,
 		Participants: r.Participants,
+	}
+	if r.Failures() > 0 {
+		rec.Completed = r.Completed
+		rec.Outcomes = make([]string, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			rec.Outcomes[i] = o.String()
+		}
 	}
 	if err := t.enc.Encode(rec); err != nil {
 		return fmt.Errorf("trace: write round: %w", err)
@@ -145,15 +160,31 @@ type Trace struct {
 	Episodes []EpisodeRecord
 }
 
+// ErrTruncated reports a trace whose final line is a partial record — the
+// tail of a crashed or interrupted run. Read returns the valid prefix
+// alongside an error wrapping ErrTruncated, so callers can salvage every
+// complete record: errors.Is(err, ErrTruncated) distinguishes a torn tail
+// from mid-file corruption, which stays a hard failure.
+var ErrTruncated = errors.New("trace: truncated trailing record")
+
 // Read parses a JSONL trace from r. Unknown record kinds are skipped so
-// newer traces stay readable by older tooling.
+// newer traces stay readable by older tooling. An unparseable final line
+// yields the valid prefix plus an ErrTruncated-wrapping error; an
+// unparseable line anywhere else is a hard failure.
 func Read(r io.Reader) (*Trace, error) {
 	out := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
+	// A parse failure is only fatal once a later line proves it wasn't the
+	// torn tail of an interrupted write, so the error is held pending for
+	// one iteration.
+	var pending error
 	for sc.Scan() {
 		line++
+		if pending != nil {
+			return nil, pending
+		}
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
@@ -162,19 +193,22 @@ func Read(r io.Reader) (*Trace, error) {
 			Kind RecordKind `json:"kind"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			pending = fmt.Errorf("trace: line %d: %w", line, err)
+			continue
 		}
 		switch probe.Kind {
 		case KindRound:
 			var rec RoundRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+				pending = fmt.Errorf("trace: line %d: %w", line, err)
+				continue
 			}
 			out.Rounds = append(out.Rounds, rec)
 		case KindEpisode:
 			var rec EpisodeRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+				pending = fmt.Errorf("trace: line %d: %w", line, err)
+				continue
 			}
 			out.Episodes = append(out.Episodes, rec)
 		default:
@@ -183,6 +217,9 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	if pending != nil {
+		return out, fmt.Errorf("%w (line %d): %v", ErrTruncated, line, pending)
 	}
 	return out, nil
 }

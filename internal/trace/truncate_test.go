@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chiron/internal/market"
+)
+
+// faultedRound returns a round with one crashed node, so outcome
+// serialization kicks in.
+func faultedRound(idx int) *market.Round {
+	r := sampleRound(idx)
+	r.Outcomes = []market.Outcome{market.OutcomeCompleted, market.OutcomeCrashed}
+	r.Completed = 1
+	return r
+}
+
+func writeRounds(t *testing.T, rounds ...*market.Round) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range rounds {
+		if err := w.WriteRound(1, r); err != nil {
+			t.Fatalf("WriteRound: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadTruncatedTailYieldsPrefix(t *testing.T) {
+	full := writeRounds(t, sampleRound(1), sampleRound(2), sampleRound(3))
+	lastStart := bytes.LastIndexByte(full[:len(full)-1], '\n') + 1
+	// Cut at several depths inside the final record, including one byte in
+	// (torn mid-key) and one byte short of complete (missing brace).
+	for _, cut := range []int{lastStart + 1, (lastStart + len(full)) / 2, len(full) - 2} {
+		trc, err := Read(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d/%d: err %v, want ErrTruncated", cut, len(full), err)
+		}
+		if trc == nil || len(trc.Rounds) != 2 {
+			t.Fatalf("cut at %d: salvaged %+v, want the 2-round prefix", cut, trc)
+		}
+		if trc.Rounds[1].Round != 2 {
+			t.Fatalf("cut at %d: wrong prefix content %+v", cut, trc.Rounds[1])
+		}
+	}
+}
+
+func TestReadMidFileCorruptionIsHardFailure(t *testing.T) {
+	input := `{"kind":"round","episode":1,"round":1,"prices":[1],"freqs":[1],"times":[1]}
+{"kind":"round","epis
+{"kind":"episode","episode":1,"rounds":1}
+`
+	trc, err := Read(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-file corruption misreported as a torn tail: %v", err)
+	}
+	if trc != nil {
+		t.Fatal("corrupt trace returned records")
+	}
+}
+
+func TestReadFileTruncated(t *testing.T) {
+	full := writeRounds(t, faultedRound(1), faultedRound(2))
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(path, full[:len(full)-7], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	trc, err := ReadFile(path)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err %v, want ErrTruncated", err)
+	}
+	if trc == nil || len(trc.Rounds) != 1 {
+		t.Fatalf("salvaged %+v, want the 1-round prefix", trc)
+	}
+}
+
+func TestOutcomesRoundTrip(t *testing.T) {
+	data := writeRounds(t, faultedRound(1))
+	trc, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(trc.Rounds) != 1 {
+		t.Fatalf("rounds %d", len(trc.Rounds))
+	}
+	r := trc.Rounds[0]
+	if r.Completed != 1 {
+		t.Fatalf("completed %d, want 1", r.Completed)
+	}
+	want := []string{"completed", "crashed"}
+	if len(r.Outcomes) != len(want) {
+		t.Fatalf("outcomes %v, want %v", r.Outcomes, want)
+	}
+	for i := range want {
+		if r.Outcomes[i] != want[i] {
+			t.Fatalf("outcome[%d] = %q, want %q", i, r.Outcomes[i], want[i])
+		}
+	}
+}
+
+// Clean rounds must serialize exactly as the pre-failure-model format did:
+// no outcome bookkeeping keys at all.
+func TestCleanRoundOmitsOutcomeKeys(t *testing.T) {
+	clean := sampleRound(1)
+	clean.Outcomes = []market.Outcome{market.OutcomeCompleted, market.OutcomeCompleted}
+	clean.Completed = 2
+	data := writeRounds(t, clean)
+	for _, key := range []string{"outcomes", "completed"} {
+		if bytes.Contains(data, []byte(key)) {
+			t.Fatalf("clean round serialized %q:\n%s", key, data)
+		}
+	}
+}
