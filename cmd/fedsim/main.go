@@ -11,7 +11,7 @@
 //	       [-server-momentum B] [-samples S] [-hidden H] [-seed S]
 //	       [-crash-rate P] [-corrupt-rate P] [-drop-rate P]
 //	       [-max-retries R] [-min-quorum Q] [-max-delta-norm D]
-//	       [-fault-seed S]
+//	       [-fault-seed S] [-workers W]
 //
 // The fault flags drive the failure-hardened round pipeline: clients crash
 // before training (crash-rate), upload damaged parameter vectors
@@ -32,6 +32,7 @@ import (
 	"chiron/internal/dataset"
 	"chiron/internal/faults"
 	"chiron/internal/fl"
+	"chiron/internal/mat"
 	"chiron/internal/nn"
 )
 
@@ -70,9 +71,14 @@ func run(args []string) error {
 	minQuorum := fs.Int("min-quorum", 1, "minimum sanitized updates required to advance the global model")
 	maxDeltaNorm := fs.Float64("max-delta-norm", 1e6, "reject updates farther than this L2 distance from the global model (0 disables)")
 	faultSeed := fs.Int64("fault-seed", 0, "seed of the fault schedule (0 = derive from -seed)")
+	workers := fs.Int("workers", 0, "matrix-kernel worker count (0 = GOMAXPROCS); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("workers %d must be >= 0 (0 = GOMAXPROCS)", *workers)
+	}
+	mat.SetWorkers(*workers)
 	if *rounds <= 0 || *nodes <= 0 {
 		return fmt.Errorf("rounds and nodes must be positive")
 	}
@@ -172,13 +178,17 @@ func run(args []string) error {
 	fmt.Printf("round   0: accuracy %.3f (untrained)\n", acc)
 
 	var crashed, dropped, rejected, skipped int
+	var global []float64
+	updates := make([]fl.Update, 0, perRound)
 	for round := 1; round <= *rounds; round++ {
 		selected, err := fl.SampleClients(rng, *nodes, perRound)
 		if err != nil {
 			return err
 		}
-		global := srv.Global()
-		updates := make([]fl.Update, 0, len(selected))
+		// Both server flavors share the base server's parameter vector, so
+		// the recycled download buffer works for either.
+		global = baseServer.GlobalInto(global)
+		updates = updates[:0]
 		for _, id := range selected {
 			var fault faults.Fault
 			if sched != nil {

@@ -1,0 +1,137 @@
+package chiron_test
+
+// Compute micro-benchmarks for the numeric stack that every hot loop of the
+// reproduction funnels through: the RealTraining MLP step, the MNIST-CNN
+// Conv2D im2col path, and one full PPO update. All report allocs/op so that
+// regressions in the destination-passing path (which should keep steady-state
+// allocations near zero) are visible straight from `go test -bench=Compute
+// -benchmem`. CI runs exactly these and uploads the results as
+// BENCH_compute.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"chiron/internal/dataset"
+	"chiron/internal/fl"
+	"chiron/internal/mat"
+	"chiron/internal/nn"
+	"chiron/internal/rl"
+)
+
+// BenchmarkComputeMLPForwardBackward measures one RealTraining-shaped MLP
+// training step (forward, softmax cross-entropy, backward) on a batch of 10 —
+// the exact inner loop of fl.Client.TrainRound.
+func BenchmarkComputeMLPForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := nn.NewClassifierMLP(rng, 64, 32, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mat.New(10, 64)
+	x.Randomize(rng, 1)
+	labels := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	grad := mat.New(10, 10)
+	probs := make([]float64, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits, err := net.Forward(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nn.SoftmaxCrossEntropyTo(grad, logits, labels, probs); err != nil {
+			b.Fatal(err)
+		}
+		net.ZeroGrad()
+		if _, err := net.Backward(grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeConv2DForwardBackward measures the im2col Conv2D path in
+// isolation: one forward+backward of the MNIST CNN's first convolution
+// (1→10 channels, 5×5) on a batch of 10.
+func BenchmarkComputeConv2DForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	conv, err := nn.NewConv2D(rng, nn.Shape3{C: 1, H: 28, W: 28}, 10, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mat.New(10, 28*28)
+	x.Randomize(rng, 1)
+	grad := mat.New(10, conv.OutShape().Size())
+	grad.Randomize(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conv.Backward(grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputePPOUpdate measures one full PPO update (M=10 epochs of
+// critic regression + clipped-surrogate actor pass) over a 32-transition
+// episode at Chiron's exterior dimensions.
+func BenchmarkComputePPOUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	stateDim := 3*5*4 + 2
+	agent, err := rl.NewPPO(rng, stateDim, 1, rl.DefaultPPOConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := &rl.Buffer{}
+	state := make([]float64, stateDim)
+	for i := range state {
+		state[i] = rng.Float64()
+	}
+	for i := 0; i < 32; i++ {
+		act, lp, err := agent.Act(rng, state)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Add(rl.Transition{State: state, Action: act, Reward: rng.Float64(), NextState: state, Done: i == 31, LogProb: lp})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Update(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeClientTrainRound measures one client's σ=5 local epochs of
+// mini-batch SGD over a 400-sample shard — the RealTraining unit of work the
+// incentive mechanism prices per round per node.
+func BenchmarkComputeClientTrainRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	full, err := dataset.Generate(rng, dataset.SynthMNIST(500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func(r *rand.Rand) (*nn.Network, error) {
+		return nn.NewClassifierMLP(r, full.Dim(), 32, 10)
+	}
+	client, err := fl.NewClient(0, full, factory, fl.DefaultConfig(), rand.New(rand.NewSource(15)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := factory(rand.New(rand.NewSource(16)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := ref.FlattenParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.TrainRound(global); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package chiron_test
+
+// Bit-exact determinism tests for the parallel compute core: the same seed
+// must produce byte-identical training results no matter how many kernel
+// workers are configured or what GOMAXPROCS happens to be. The GEMM kernels
+// guarantee this by fixing the floating-point reduction order (each output
+// row accumulates k-ascending regardless of worker banding), and these tests
+// pin that contract at the federated-training, PPO, and full-system levels.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"chiron"
+	"chiron/internal/dataset"
+	"chiron/internal/fl"
+	"chiron/internal/mat"
+	"chiron/internal/nn"
+	"chiron/internal/rl"
+)
+
+// hashFloats folds the exact bit patterns of v into h, so two runs collide
+// only when every float is byte-identical.
+func hashFloats(h interface{ Write([]byte) (int, error) }, v []float64) {
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+}
+
+// flFingerprint runs three FedAvg rounds over three IID clients with the
+// given worker count and returns a hash of the final global model and its
+// test accuracy.
+func flFingerprint(t *testing.T, workers int) uint64 {
+	t.Helper()
+	mat.SetWorkers(workers)
+	defer mat.SetWorkers(0)
+
+	rng := rand.New(rand.NewSource(99))
+	full, err := dataset.Generate(rng, dataset.SynthMNIST(240))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := full.Split(rng, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.IID{}.Partition(rng, train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(r *rand.Rand) (*nn.Network, error) {
+		return nn.NewClassifierMLP(r, full.Dim(), 16, full.Classes)
+	}
+	server, err := fl.NewServer(test, factory, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, len(parts))
+	for i, idx := range parts {
+		local, err := train.Subset(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clients[i], err = fl.NewClient(i, local, factory, fl.DefaultConfig(), rand.New(rand.NewSource(100+int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		global := server.Global()
+		updates := make([]fl.Update, 0, len(clients))
+		for _, c := range clients {
+			params, _, err := c.TrainRound(global)
+			if err != nil {
+				t.Fatal(err)
+			}
+			updates = append(updates, fl.Update{Client: c.ID(), Params: params, Samples: c.NumSamples()})
+		}
+		if err := server.Aggregate(updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := server.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	hashFloats(h, server.Global())
+	hashFloats(h, []float64{acc})
+	return h.Sum64()
+}
+
+// ppoFingerprint runs two PPO updates over a fixed 32-transition episode and
+// hashes the resulting policy parameters plus a value estimate.
+func ppoFingerprint(t *testing.T, workers int) uint64 {
+	t.Helper()
+	mat.SetWorkers(workers)
+	defer mat.SetWorkers(0)
+
+	rng := rand.New(rand.NewSource(7))
+	stateDim := 3*5*4 + 2
+	agent, err := rl.NewPPO(rng, stateDim, 1, rl.DefaultPPOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &rl.Buffer{}
+	state := make([]float64, stateDim)
+	for i := range state {
+		state[i] = rng.Float64()
+	}
+	for i := 0; i < 32; i++ {
+		act, lp, err := agent.Act(rng, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Add(rl.Transition{State: state, Action: act, Reward: rng.Float64(), NextState: state, Done: i == 31, LogProb: lp})
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := agent.Update(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := fnv.New64a()
+	for _, p := range agent.Policy().Params() {
+		hashFloats(h, p.Value.Data())
+	}
+	v, err := agent.Value(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFloats(h, []float64{v})
+	return h.Sum64()
+}
+
+// systemFingerprint trains a small full system (surrogate accuracy) for two
+// episodes and renders the per-episode results.
+func systemFingerprint(t *testing.T, workers int) string {
+	t.Helper()
+	sys, err := chiron.NewSystem(chiron.SystemConfig{
+		Nodes:   3,
+		Budget:  300,
+		Seed:    5,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mat.SetWorkers(0)
+	results, err := sys.Train(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%+v", results)
+}
+
+func TestFLDeterministicAcrossWorkers(t *testing.T) {
+	base := flFingerprint(t, 1)
+	if got := flFingerprint(t, 4); got != base {
+		t.Fatalf("fl fingerprint differs: workers=1 %x, workers=4 %x", base, got)
+	}
+	// workers=0 delegates to GOMAXPROCS; vary it to cover that path too.
+	prev := runtime.GOMAXPROCS(3)
+	defer runtime.GOMAXPROCS(prev)
+	if got := flFingerprint(t, 0); got != base {
+		t.Fatalf("fl fingerprint differs: workers=1 %x, GOMAXPROCS=3 %x", base, got)
+	}
+}
+
+func TestPPODeterministicAcrossWorkers(t *testing.T) {
+	base := ppoFingerprint(t, 1)
+	if got := ppoFingerprint(t, 4); got != base {
+		t.Fatalf("ppo fingerprint differs: workers=1 %x, workers=4 %x", base, got)
+	}
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	if got := ppoFingerprint(t, 0); got != base {
+		t.Fatalf("ppo fingerprint differs: workers=1 %x, GOMAXPROCS=2 %x", base, got)
+	}
+}
+
+func TestSystemTrainDeterministicAcrossWorkers(t *testing.T) {
+	base := systemFingerprint(t, 1)
+	if got := systemFingerprint(t, 4); got != base {
+		t.Fatalf("system training diverged between workers=1 and workers=4:\n%s\nvs\n%s", base, got)
+	}
+}

@@ -25,6 +25,11 @@ type RealTrainer struct {
 	clients  []*fl.Client
 	server   *fl.Server
 	acc      float64
+
+	// Recycled per-round buffers for the global download and the upload
+	// batch, so Advance allocates nothing in steady state.
+	globalBuf []float64
+	updates   []fl.Update
 }
 
 // RealTrainerConfig bundles the construction parameters for a RealTrainer.
@@ -131,8 +136,9 @@ func (t *RealTrainer) Advance(participants []int) (float64, error) {
 	if len(participants) == 0 {
 		return t.acc, nil
 	}
-	global := t.server.Global()
-	updates := make([]fl.Update, 0, len(participants))
+	t.globalBuf = t.server.GlobalInto(t.globalBuf)
+	global := t.globalBuf
+	updates := t.updates[:0]
 	for _, id := range participants {
 		if id < 0 || id >= len(t.clients) {
 			return 0, fmt.Errorf("accuracy: participant %d out of range [0,%d)", id, len(t.clients))
@@ -143,6 +149,7 @@ func (t *RealTrainer) Advance(participants []int) (float64, error) {
 		}
 		updates = append(updates, fl.Update{Params: params, Samples: t.clients[id].NumSamples()})
 	}
+	t.updates = updates
 	if err := t.server.Aggregate(updates); err != nil {
 		return 0, err
 	}

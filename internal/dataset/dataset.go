@@ -24,6 +24,11 @@ type Dataset struct {
 	X       *mat.Matrix
 	Y       []int
 	Classes int
+
+	// Recycled Batches buffers: one for full-size batches, one for the
+	// short tail batch, so an epoch of mini-batching allocates nothing
+	// after the first pass.
+	batchBuf, tailBuf *mat.Matrix
 }
 
 // Len reports the number of samples.
@@ -89,7 +94,9 @@ func (d *Dataset) Split(rng *rand.Rand, testFrac float64) (train, test *Dataset,
 
 // Batches cuts the dataset into consecutive mini-batches of the given size
 // (the final batch may be short) and calls fn for each. Shuffle first for
-// stochastic gradient descent.
+// stochastic gradient descent. The batch matrix passed to fn is a recycled
+// buffer owned by the dataset: it is valid only for the duration of the
+// callback and is overwritten by the next batch.
 func (d *Dataset) Batches(size int, fn func(x *mat.Matrix, y []int) error) error {
 	if size <= 0 {
 		return fmt.Errorf("dataset: batch size %d, want > 0", size)
@@ -100,7 +107,14 @@ func (d *Dataset) Batches(size int, fn func(x *mat.Matrix, y []int) error) error
 			end = d.Len()
 		}
 		rows := end - start
-		x := mat.New(rows, d.Dim())
+		var x *mat.Matrix
+		if rows == size {
+			d.batchBuf = mat.Ensure(d.batchBuf, rows, d.Dim())
+			x = d.batchBuf
+		} else {
+			d.tailBuf = mat.Ensure(d.tailBuf, rows, d.Dim())
+			x = d.tailBuf
+		}
 		for r := 0; r < rows; r++ {
 			copy(x.Row(r), d.X.Row(start+r))
 		}

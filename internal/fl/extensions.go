@@ -3,6 +3,8 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+
+	"chiron/internal/mat"
 )
 
 // MomentumServer wraps a Server with server-side momentum (FedAvgM):
@@ -14,6 +16,7 @@ type MomentumServer struct {
 	server   *Server
 	momentum float64
 	velocity []float64
+	before   []float64 // recycled pre-aggregation snapshot of the global model
 }
 
 // NewMomentumServer wraps server with FedAvgM momentum β ∈ [0,1).
@@ -47,19 +50,19 @@ func (m *MomentumServer) Aggregate(updates []Update) error {
 			return &CorruptUpdateError{Client: u.Client, Reason: fmt.Sprintf("non-finite parameter %v at index %d", u.Params[j], j)}
 		}
 	}
-	before := m.server.Global()
+	m.before = mat.EnsureVec(m.before, len(m.server.global))
+	copy(m.before, m.server.global)
 	if err := m.server.Aggregate(updates); err != nil {
 		return err
 	}
-	after := m.server.Global()
-	// Recover the pseudo-gradient and re-apply it through momentum.
-	next := make([]float64, len(before))
-	for i := range before {
-		delta := after[i] - before[i]
+	// Recover the pseudo-gradient and re-apply it through momentum, writing
+	// the result back into the freshly aggregated global model in place.
+	after := m.server.global
+	for i := range after {
+		delta := after[i] - m.before[i]
 		m.velocity[i] = m.momentum*m.velocity[i] + delta
-		next[i] = before[i] + m.velocity[i]
+		after[i] = m.before[i] + m.velocity[i]
 	}
-	m.server.global = next
 	return nil
 }
 

@@ -60,6 +60,13 @@ type Client struct {
 	model *nn.Network
 	cfg   Config
 	rng   *rand.Rand
+	opt   *nn.SGD
+
+	// Recycled per-round buffers: softmax cross-entropy gradient and
+	// probability scratch, and the uploaded flat parameter vector.
+	grad  *mat.Matrix
+	probs []float64
+	flat  []float64
 }
 
 // NewClient builds a client over its local dataset. The model is created
@@ -76,7 +83,8 @@ func NewClient(id int, data *dataset.Dataset, factory ModelFactory, cfg Config, 
 	if err != nil {
 		return nil, fmt.Errorf("fl: client %d model: %w", id, err)
 	}
-	return &Client{id: id, data: data, model: model, cfg: cfg, rng: rng}, nil
+	opt := nn.NewSGD(model.Params(), cfg.LearningRate, cfg.Momentum)
+	return &Client{id: id, data: data, model: model, cfg: cfg, rng: rng, opt: opt}, nil
 }
 
 // ID returns the client identifier.
@@ -88,11 +96,18 @@ func (c *Client) NumSamples() int { return c.data.Len() }
 // TrainRound downloads the global parameters, runs σ local epochs of
 // mini-batch SGD (ω ← ω − μ∇F_i), and returns the updated flat parameter
 // vector along with the mean training loss of the final epoch.
+//
+// The returned slice is a recycled buffer owned by the client: it stays
+// valid until this client's next TrainRound call, which is enough for the
+// synchronous upload-then-aggregate round pipeline. Callers that retain a
+// client's upload across rounds must copy it.
 func (c *Client) TrainRound(global []float64) ([]float64, float64, error) {
 	if err := c.model.LoadParams(global); err != nil {
 		return nil, 0, fmt.Errorf("fl: client %d load: %w", c.id, err)
 	}
-	opt := nn.NewSGD(c.model.Params(), c.cfg.LearningRate, c.cfg.Momentum)
+	// The optimizer is persistent but its momentum state is not: each round
+	// starts from fresh velocity, matching a per-round optimizer.
+	c.opt.Reset()
 	var lastLoss float64
 	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
 		c.data.Shuffle(c.rng)
@@ -103,15 +118,17 @@ func (c *Client) TrainRound(global []float64) ([]float64, float64, error) {
 			if err != nil {
 				return err
 			}
-			loss, grad, err := nn.SoftmaxCrossEntropy(logits, y)
+			c.grad = mat.Ensure(c.grad, logits.Rows(), logits.Cols())
+			c.probs = mat.EnsureVec(c.probs, logits.Cols())
+			loss, err := nn.SoftmaxCrossEntropyTo(c.grad, logits, y, c.probs)
 			if err != nil {
 				return err
 			}
 			c.model.ZeroGrad()
-			if _, err := c.model.Backward(grad); err != nil {
+			if _, err := c.model.Backward(c.grad); err != nil {
 				return err
 			}
-			if err := opt.Step(); err != nil {
+			if err := c.opt.Step(); err != nil {
 				return err
 			}
 			epochLoss += loss
@@ -125,14 +142,21 @@ func (c *Client) TrainRound(global []float64) ([]float64, float64, error) {
 			lastLoss = epochLoss / float64(batches)
 		}
 	}
-	return c.model.FlattenParams(), lastLoss, nil
+	c.flat = mat.EnsureVec(c.flat, c.model.NumParams())
+	if err := c.model.FlattenParamsInto(c.flat); err != nil {
+		return nil, 0, fmt.Errorf("fl: client %d upload: %w", c.id, err)
+	}
+	return c.flat, lastLoss, nil
 }
 
 // Server is the FedAvg parameter server.
 type Server struct {
 	global []float64
-	test   *dataset.Dataset
-	eval   *nn.Network
+	// scratch is the aggregation accumulator; after a successful round it
+	// swaps roles with global so neither round allocates.
+	scratch []float64
+	test    *dataset.Dataset
+	eval    *nn.Network
 }
 
 // NewServer builds a server holding the initial global model (from factory)
@@ -153,6 +177,15 @@ func (s *Server) Global() []float64 {
 	cp := make([]float64, len(s.global))
 	copy(cp, s.global)
 	return cp
+}
+
+// GlobalInto copies the current global parameter vector into dst, growing
+// it if the length differs, and returns the (possibly reallocated) slice —
+// the allocation-free counterpart of Global for per-round download loops.
+func (s *Server) GlobalInto(dst []float64) []float64 {
+	dst = mat.EnsureVec(dst, len(s.global))
+	copy(dst, s.global)
+	return dst
 }
 
 // Update is one client's round contribution.
@@ -189,14 +222,19 @@ func (s *Server) Aggregate(updates []Update) error {
 		}
 		total += float64(u.Samples)
 	}
-	next := make([]float64, len(s.global))
+	s.scratch = mat.EnsureVec(s.scratch, len(s.global))
+	next := s.scratch
+	for j := range next {
+		next[j] = 0
+	}
 	for _, u := range updates {
 		w := float64(u.Samples) / total
 		for j, v := range u.Params {
 			next[j] += w * v
 		}
 	}
-	s.global = next
+	// Swap rather than copy: the old global becomes next round's scratch.
+	s.global, s.scratch = next, s.global
 	return nil
 }
 

@@ -1,0 +1,233 @@
+package mat
+
+import "fmt"
+
+// Destination-passing forms of the package's kernels: every *To function
+// writes its result into a caller-supplied dst and allocates nothing. The
+// original allocating forms (Mul, Add, ...) are thin wrappers that allocate
+// a destination when handed nil and then delegate here, so the two paths
+// compute bit-identical results.
+//
+// dst must not alias any operand unless a function documents otherwise; the
+// GEMM kernels read operand rows while streaming writes into dst rows, so
+// an aliased destination would corrupt its own inputs mid-computation.
+
+// checkDst validates a destination shape against the required dimensions.
+func checkDst(op string, dst *Matrix, rows, cols int) error {
+	if dst == nil {
+		return fmt.Errorf("%w: %s nil dst, want %dx%d", ErrShape, op, rows, cols)
+	}
+	if dst.rows != rows || dst.cols != cols {
+		return fmt.Errorf("%w: %s dst %dx%d want %dx%d", ErrShape, op, dst.rows, dst.cols, rows, cols)
+	}
+	return nil
+}
+
+// MulTo computes dst = a × b without allocating. dst must be a.Rows()×
+// b.Cols() and must not alias a or b. Large products are row-blocked over
+// the worker pool; results are bit-identical at any worker count.
+func MulTo(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if err := checkDst("mul", dst, a.rows, b.cols); err != nil {
+		return err
+	}
+	if flops := a.rows * a.cols * b.cols; serialRows(a.rows, flops) {
+		mulRange(dst, a, b, 0, a.rows)
+	} else {
+		parallelRows(a.rows, flops, func(lo, hi int) { mulRange(dst, a, b, lo, hi) })
+	}
+	return nil
+}
+
+// mulRange computes rows [lo, hi) of dst = a × b in ikj order: the inner
+// loop streams over contiguous rows and each dst element accumulates over k
+// ascending, so banding the rows never changes the reduction order.
+func mulRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransATo computes dst = aᵀ × b without allocating. dst must be
+// a.Cols()×b.Cols() and must not alias a or b.
+func MulTransATo(dst, a, b *Matrix) error {
+	if a.rows != b.rows {
+		return fmt.Errorf("%w: mulTransA (%dx%d)T by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if err := checkDst("mulTransA", dst, a.cols, b.cols); err != nil {
+		return err
+	}
+	if flops := a.rows * a.cols * b.cols; serialRows(a.cols, flops) {
+		mulTransASerial(dst, a, b)
+	} else {
+		parallelRows(a.cols, flops, func(lo, hi int) { mulTransARange(dst, a, b, lo, hi) })
+	}
+	return nil
+}
+
+// mulTransASerial computes all of dst = aᵀ × b in k-outer order, streaming
+// sequentially over a's and b's rows — much friendlier to the cache than the
+// strided column reads of mulTransARange. Every dst element still
+// accumulates over k ascending, so the two forms are bit-identical; only the
+// banded form is safe to split across workers.
+func mulTransASerial(dst, a, b *Matrix) {
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulTransARange computes rows [lo, hi) of dst = aᵀ × b: output row i reads
+// column i of a (strided) against the rows of b, accumulating over k
+// ascending.
+func mulTransARange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k := 0; k < a.rows; k++ {
+			av := a.data[k*a.cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransBTo computes dst = a × bᵀ without allocating. dst must be
+// a.Rows()×b.Rows() and must not alias a or b.
+func MulTransBTo(dst, a, b *Matrix) error {
+	if a.cols != b.cols {
+		return fmt.Errorf("%w: mulTransB %dx%d by (%dx%d)T", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if err := checkDst("mulTransB", dst, a.rows, b.rows); err != nil {
+		return err
+	}
+	if flops := a.rows * a.cols * b.rows; serialRows(a.rows, flops) {
+		mulTransBRange(dst, a, b, 0, a.rows)
+	} else {
+		parallelRows(a.rows, flops, func(lo, hi int) { mulTransBRange(dst, a, b, lo, hi) })
+	}
+	return nil
+}
+
+// mulTransBRange computes rows [lo, hi) of dst = a × bᵀ as row-dot-products
+// over k ascending.
+func mulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// AddTo computes dst = a + b elementwise without allocating. dst may alias
+// a or b.
+func AddTo(dst, a, b *Matrix) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if err := checkDst("add", dst, a.rows, a.cols); err != nil {
+		return err
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return nil
+}
+
+// SubTo computes dst = a − b elementwise without allocating. dst may alias
+// a or b.
+func SubTo(dst, a, b *Matrix) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if err := checkDst("sub", dst, a.rows, a.cols); err != nil {
+		return err
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return nil
+}
+
+// ScaleTo computes dst = s·a elementwise without allocating. dst may alias
+// a.
+func ScaleTo(dst, a *Matrix, s float64) error {
+	if err := checkDst("scale", dst, a.rows, a.cols); err != nil {
+		return err
+	}
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+	return nil
+}
+
+// ApplyTo computes dst[i] = f(a[i]) elementwise without allocating. dst may
+// alias a.
+func ApplyTo(dst, a *Matrix, f func(float64) float64) error {
+	if err := checkDst("apply", dst, a.rows, a.cols); err != nil {
+		return err
+	}
+	for i, v := range a.data {
+		dst.data[i] = f(v)
+	}
+	return nil
+}
+
+// SumRowsTo sums each column across rows into out, which must have length
+// Cols. It is the allocation-free form of SumRows.
+func (m *Matrix) SumRowsTo(out []float64) error {
+	if len(out) != m.cols {
+		return fmt.Errorf("%w: sumRows out len %d for %d cols", ErrShape, len(out), m.cols)
+	}
+	for c := range out {
+		out[c] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r*m.cols : (r+1)*m.cols]
+		for c, v := range row {
+			out[c] += v
+		}
+	}
+	return nil
+}

@@ -3,6 +3,13 @@
 // of the Chiron reproduction. It is deliberately small: row-major dense
 // matrices, the handful of BLAS-like routines the upper layers need, and
 // deterministic random initialization driven by an explicit *rand.Rand.
+//
+// The compute core is destination-passing: the *To kernels (MulTo, AddTo,
+// ApplyTo, ...) write into caller-supplied matrices and allocate nothing,
+// and a Workspace arena lets hot loops recycle scratch buffers across
+// passes. Large GEMMs are row-blocked across a bounded worker pool
+// (SetWorkers; default GOMAXPROCS) with a fixed per-element reduction
+// order, so results are bit-identical at any parallelism.
 package mat
 
 import (
@@ -59,12 +66,37 @@ func (m *Matrix) At(r, c int) float64 { return m.data[r*m.cols+c] }
 // Set assigns v to the element at row r, column c.
 func (m *Matrix) Set(r, c int, v float64) { m.data[r*m.cols+c] = v }
 
-// Data exposes the underlying row-major backing slice. Mutating it mutates
-// the matrix; callers that need isolation should use Clone.
+// Data exposes the underlying row-major backing slice.
+//
+// Aliasing contract: the returned slice IS the matrix storage — mutating it
+// mutates the matrix, and any other view obtained from Data or Row of the
+// same matrix observes the change immediately. Holding a returned slice
+// across an operation that writes the matrix (a *To kernel targeting it, an
+// optimizer step, a reused layer buffer) reads the new values, not a
+// snapshot. Callers that need isolation must copy: use CopyData, CopyRow,
+// or Clone.
 func (m *Matrix) Data() []float64 { return m.data }
 
-// Row returns a view of row r (shared backing array).
+// Row returns a view of row r (shared backing array). The aliasing contract
+// of Data applies: the view stays live, so mutations through the matrix are
+// visible in the slice and vice versa. Use CopyRow for a snapshot.
 func (m *Matrix) Row(r int) []float64 { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// CopyData returns a fresh copy of the row-major backing data, isolated
+// from later mutations of m.
+func (m *Matrix) CopyData() []float64 {
+	cp := make([]float64, len(m.data))
+	copy(cp, m.data)
+	return cp
+}
+
+// CopyRow returns a fresh copy of row r, isolated from later mutations of
+// m.
+func (m *Matrix) CopyRow(r int) []float64 {
+	cp := make([]float64, m.cols)
+	copy(cp, m.data[r*m.cols:(r+1)*m.cols])
+	return cp
+}
 
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
@@ -124,113 +156,77 @@ func (m *Matrix) HeInit(rng *rand.Rand, fanIn int) {
 }
 
 // Mul computes dst = a × b and returns dst. If dst is nil a new matrix is
-// allocated. dst must not alias a or b.
+// allocated. dst must not alias a or b. It is the allocating wrapper over
+// MulTo.
 func Mul(dst, a, b *Matrix) (*Matrix, error) {
-	if a.cols != b.rows {
-		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
 	if dst == nil {
+		if a.cols != b.rows {
+			return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+		}
 		dst = New(a.rows, b.cols)
-	} else if dst.rows != a.rows || dst.cols != b.cols {
-		return nil, fmt.Errorf("%w: mul dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.cols)
 	}
-	dst.Zero()
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	if err := MulTo(dst, a, b); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// MulTransB computes dst = a × bᵀ and returns dst.
+// MulTransB computes dst = a × bᵀ and returns dst. If dst is nil a new
+// matrix is allocated. It is the allocating wrapper over MulTransBTo.
 func MulTransB(dst, a, b *Matrix) (*Matrix, error) {
-	if a.cols != b.cols {
-		return nil, fmt.Errorf("%w: mulTransB %dx%d by (%dx%d)T", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
 	if dst == nil {
+		if a.cols != b.cols {
+			return nil, fmt.Errorf("%w: mulTransB %dx%d by (%dx%d)T", ErrShape, a.rows, a.cols, b.rows, b.cols)
+		}
 		dst = New(a.rows, b.rows)
-	} else if dst.rows != a.rows || dst.cols != b.rows {
-		return nil, fmt.Errorf("%w: mulTransB dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.rows)
 	}
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			dst.data[i*dst.cols+j] = sum
-		}
+	if err := MulTransBTo(dst, a, b); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// MulTransA computes dst = aᵀ × b and returns dst.
+// MulTransA computes dst = aᵀ × b and returns dst. If dst is nil a new
+// matrix is allocated. It is the allocating wrapper over MulTransATo.
 func MulTransA(dst, a, b *Matrix) (*Matrix, error) {
-	if a.rows != b.rows {
-		return nil, fmt.Errorf("%w: mulTransA (%dx%d)T by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
 	if dst == nil {
-		dst = New(a.cols, b.cols)
-	} else if dst.rows != a.cols || dst.cols != b.cols {
-		return nil, fmt.Errorf("%w: mulTransA dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.cols, b.cols)
-	}
-	dst.Zero()
-	for k := 0; k < a.rows; k++ {
-		arow := a.data[k*a.cols : (k+1)*a.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+		if a.rows != b.rows {
+			return nil, fmt.Errorf("%w: mulTransA (%dx%d)T by %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 		}
+		dst = New(a.cols, b.cols)
+	}
+	if err := MulTransATo(dst, a, b); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// Add computes dst = a + b elementwise and returns dst.
+// Add computes dst = a + b elementwise and returns dst. If dst is nil a new
+// matrix is allocated. It is the allocating wrapper over AddTo.
 func Add(dst, a, b *Matrix) (*Matrix, error) {
-	if a.rows != b.rows || a.cols != b.cols {
-		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
 	if dst == nil {
+		if a.rows != b.rows || a.cols != b.cols {
+			return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+		}
 		dst = New(a.rows, a.cols)
-	} else if dst.rows != a.rows || dst.cols != a.cols {
-		return nil, fmt.Errorf("%w: add dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, a.cols)
 	}
-	for i := range dst.data {
-		dst.data[i] = a.data[i] + b.data[i]
+	if err := AddTo(dst, a, b); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// Sub computes dst = a − b elementwise and returns dst.
+// Sub computes dst = a − b elementwise and returns dst. If dst is nil a new
+// matrix is allocated. It is the allocating wrapper over SubTo.
 func Sub(dst, a, b *Matrix) (*Matrix, error) {
-	if a.rows != b.rows || a.cols != b.cols {
-		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
 	if dst == nil {
+		if a.rows != b.rows || a.cols != b.cols {
+			return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+		}
 		dst = New(a.rows, a.cols)
-	} else if dst.rows != a.rows || dst.cols != a.cols {
-		return nil, fmt.Errorf("%w: sub dst %dx%d want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, a.cols)
 	}
-	for i := range dst.data {
-		dst.data[i] = a.data[i] - b.data[i]
+	if err := SubTo(dst, a, b); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
@@ -274,15 +270,11 @@ func (m *Matrix) Apply(f func(float64) float64) {
 	}
 }
 
-// SumRows sums each column across rows, returning a length-Cols slice.
+// SumRows sums each column across rows, returning a length-Cols slice. It
+// is the allocating wrapper over SumRowsTo.
 func (m *Matrix) SumRows() []float64 {
 	out := make([]float64, m.cols)
-	for r := 0; r < m.rows; r++ {
-		row := m.Row(r)
-		for c, v := range row {
-			out[c] += v
-		}
-	}
+	_ = m.SumRowsTo(out)
 	return out
 }
 

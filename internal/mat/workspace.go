@@ -1,0 +1,85 @@
+package mat
+
+// Workspace is an arena of reusable scratch matrices and vectors. Hot loops
+// (a network forward/backward pass, a PPO update) check buffers out with
+// Get/GetVec, use them as destinations for the *To kernels, and return them
+// with Put/PutVec when the pass ends; steady state then allocates nothing.
+//
+// Checked-out buffers have unspecified contents — callers must fully
+// overwrite them (every *To kernel does) or call Zero first. A Workspace is
+// NOT safe for concurrent use; give each concurrently running pipeline its
+// own arena.
+type Workspace struct {
+	mats map[[2]int][]*Matrix
+	vecs map[int][][]float64
+}
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		mats: make(map[[2]int][]*Matrix),
+		vecs: make(map[int][][]float64),
+	}
+}
+
+// Get checks out a rows×cols matrix with unspecified contents, reusing a
+// previously returned one of the same shape when available.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	key := [2]int{rows, cols}
+	if free := w.mats[key]; len(free) > 0 {
+		m := free[len(free)-1]
+		w.mats[key] = free[:len(free)-1]
+		return m
+	}
+	return New(rows, cols)
+}
+
+// Put returns a matrix obtained from Get to the arena. The caller must not
+// use m afterwards. Put accepts nil and foreign matrices (they simply join
+// the arena keyed by their shape).
+func (w *Workspace) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	key := [2]int{m.rows, m.cols}
+	w.mats[key] = append(w.mats[key], m)
+}
+
+// GetVec checks out a length-n slice with unspecified contents.
+func (w *Workspace) GetVec(n int) []float64 {
+	if free := w.vecs[n]; len(free) > 0 {
+		v := free[len(free)-1]
+		w.vecs[n] = free[:len(free)-1]
+		return v
+	}
+	return make([]float64, n)
+}
+
+// PutVec returns a slice obtained from GetVec to the arena.
+func (w *Workspace) PutVec(v []float64) {
+	if v == nil {
+		return
+	}
+	w.vecs[len(v)] = append(w.vecs[len(v)], v)
+}
+
+// Ensure returns m when it already has the requested shape and a freshly
+// allocated rows×cols matrix otherwise. It is the field-backed counterpart
+// of Workspace.Get for code that keeps one long-lived scratch buffer per
+// role: contents are unspecified, so callers must fully overwrite (every
+// *To kernel does) or Zero first.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	if m != nil && m.rows == rows && m.cols == cols {
+		return m
+	}
+	return New(rows, cols)
+}
+
+// EnsureVec is Ensure for flat slices: it returns v when len(v) == n and a
+// new slice otherwise, with unspecified contents.
+func EnsureVec(v []float64, n int) []float64 {
+	if len(v) == n {
+		return v
+	}
+	return make([]float64, n)
+}

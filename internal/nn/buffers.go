@@ -1,0 +1,28 @@
+package nn
+
+import "chiron/internal/mat"
+
+// Layers own their forward/backward result buffers and recycle them across
+// calls, so a steady-state training loop allocates nothing. ensureMat and
+// ensureVec implement the reuse policy: keep the buffer while the shape
+// holds, reallocate when the batch size changes. Buffer contents are NOT
+// preserved across calls — callers fully overwrite (or Zero) them.
+
+// ensureMat returns m when it already has the wanted shape, else a fresh
+// matrix (see mat.Ensure).
+func ensureMat(m *mat.Matrix, rows, cols int) *mat.Matrix {
+	return mat.Ensure(m, rows, cols)
+}
+
+// ensureVec returns v when it already has length n, else a fresh slice.
+func ensureVec(v []float64, n int) []float64 {
+	return mat.EnsureVec(v, n)
+}
+
+// ensureInts returns v when it already has length n, else a fresh slice.
+func ensureInts(v []int, n int) []int {
+	if len(v) == n {
+		return v
+	}
+	return make([]int, n)
+}

@@ -26,6 +26,9 @@ type Conv2D struct {
 	b       Param // shape (1, outC)
 	lastCol *mat.Matrix
 	lastN   int
+	// Recycled buffers: forward GEMM product and output, pixel-major grad,
+	// dW scratch, column gradient, and input gradient.
+	prod, y, gp, dw, dcols, dx *mat.Matrix
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -55,10 +58,12 @@ func (c *Conv2D) OutShape() Shape3 {
 
 // im2col unrolls the batch so each output pixel becomes a row of receptive-
 // field values; the convolution is then a single GEMM against the kernels.
+// The unrolled matrix is recycled across calls (it doubles as lastCol, the
+// backward pass input) and every element is overwritten.
 func (c *Conv2D) im2col(x *mat.Matrix) *mat.Matrix {
 	out := c.OutShape()
 	n := x.Rows()
-	cols := mat.New(n*out.H*out.W, c.in.C*c.k*c.k)
+	cols := ensureMat(c.lastCol, n*out.H*out.W, c.in.C*c.k*c.k)
 	for s := 0; s < n; s++ {
 		img := x.Row(s)
 		for oy := 0; oy < out.H; oy++ {
@@ -90,12 +95,14 @@ func (c *Conv2D) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	c.lastCol = cols
 	c.lastN = n
 	// prod has one row per output pixel, one column per output channel.
-	prod, err := mat.MulTransB(nil, cols, c.w.Value)
-	if err != nil {
+	c.prod = ensureMat(c.prod, cols.Rows(), c.outC)
+	if err := mat.MulTransBTo(c.prod, cols, c.w.Value); err != nil {
 		return nil, fmt.Errorf("nn: conv2d forward gemm: %w", err)
 	}
+	prod := c.prod
 	bias := c.b.Value.Row(0)
-	y := mat.New(n, out.Size())
+	c.y = ensureMat(c.y, n, out.Size())
+	y := c.y
 	for s := 0; s < n; s++ {
 		dst := y.Row(s)
 		for oy := 0; oy < out.H; oy++ {
@@ -121,7 +128,8 @@ func (c *Conv2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: conv2d backward: grad %dx%d, want %dx%d", grad.Rows(), grad.Cols(), n, out.Size())
 	}
 	// Re-layout grad to pixel-major rows matching the im2col product.
-	gp := mat.New(n*out.H*out.W, out.C)
+	c.gp = ensureMat(c.gp, n*out.H*out.W, out.C)
+	gp := c.gp
 	biasGrad := c.b.Grad.Row(0)
 	for s := 0; s < n; s++ {
 		src := grad.Row(s)
@@ -137,19 +145,22 @@ func (c *Conv2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 		}
 	}
 	// dW += gpᵀ·cols
-	dw, err := mat.MulTransA(nil, gp, c.lastCol)
-	if err != nil {
+	c.dw = ensureMat(c.dw, c.outC, c.in.C*c.k*c.k)
+	if err := mat.MulTransATo(c.dw, gp, c.lastCol); err != nil {
 		return nil, fmt.Errorf("nn: conv2d backward dW: %w", err)
 	}
-	if err := c.w.Grad.AddScaled(dw, 1); err != nil {
+	if err := c.w.Grad.AddScaled(c.dw, 1); err != nil {
 		return nil, fmt.Errorf("nn: conv2d backward accumulate dW: %w", err)
 	}
 	// dcols = gp·W, then fold back (col2im) into the input layout.
-	dcols, err := mat.Mul(nil, gp, c.w.Value)
-	if err != nil {
+	c.dcols = ensureMat(c.dcols, gp.Rows(), c.w.Value.Cols())
+	if err := mat.MulTo(c.dcols, gp, c.w.Value); err != nil {
 		return nil, fmt.Errorf("nn: conv2d backward dcols: %w", err)
 	}
-	dx := mat.New(n, c.in.Size())
+	dcols := c.dcols
+	c.dx = ensureMat(c.dx, n, c.in.Size())
+	dx := c.dx
+	dx.Zero() // col2im accumulates into overlapping receptive fields
 	for s := 0; s < n; s++ {
 		img := dx.Row(s)
 		for oy := 0; oy < out.H; oy++ {
@@ -182,6 +193,7 @@ type MaxPool2D struct {
 	size    int
 	lastArg []int // argmax input index per output element, batch-flattened
 	lastN   int
+	y, dx   *mat.Matrix
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -207,8 +219,9 @@ func (p *MaxPool2D) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	}
 	out := p.OutShape()
 	n := x.Rows()
-	y := mat.New(n, out.Size())
-	p.lastArg = make([]int, n*out.Size())
+	p.y = ensureMat(p.y, n, out.Size())
+	y := p.y
+	p.lastArg = ensureInts(p.lastArg, n*out.Size())
 	p.lastN = n
 	for s := 0; s < n; s++ {
 		img := x.Row(s)
@@ -246,7 +259,9 @@ func (p *MaxPool2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 	if grad.Rows() != p.lastN || grad.Cols() != out.Size() {
 		return nil, fmt.Errorf("nn: maxpool backward: grad %dx%d, want %dx%d", grad.Rows(), grad.Cols(), p.lastN, out.Size())
 	}
-	dx := mat.New(p.lastN, p.in.Size())
+	p.dx = ensureMat(p.dx, p.lastN, p.in.Size())
+	dx := p.dx
+	dx.Zero() // scatter-add routes each output grad to its argmax input
 	for s := 0; s < p.lastN; s++ {
 		g := grad.Row(s)
 		d := dx.Row(s)

@@ -15,6 +15,7 @@ type Dropout struct {
 	rng      *rand.Rand
 	training bool
 	lastMask *mat.Matrix
+	y, dx    *mat.Matrix
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -43,13 +44,17 @@ func (d *Dropout) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	}
 	keep := 1 - d.rate
 	scale := 1 / keep
-	mask := mat.New(x.Rows(), x.Cols())
-	y := mat.New(x.Rows(), x.Cols())
+	mask := ensureMat(d.lastMask, x.Rows(), x.Cols())
+	d.y = ensureMat(d.y, x.Rows(), x.Cols())
+	y := d.y
 	md, yd, xd := mask.Data(), y.Data(), x.Data()
 	for i := range xd {
 		if d.rng.Float64() < keep {
 			md[i] = scale
 			yd[i] = xd[i] * scale
+		} else {
+			md[i] = 0
+			yd[i] = 0
 		}
 	}
 	d.lastMask = mask
@@ -65,10 +70,11 @@ func (d *Dropout) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: dropout backward: grad %dx%d mask %dx%d",
 			grad.Rows(), grad.Cols(), d.lastMask.Rows(), d.lastMask.Cols())
 	}
-	dx := grad.Clone()
-	md, xd := d.lastMask.Data(), dx.Data()
+	d.dx = ensureMat(d.dx, grad.Rows(), grad.Cols())
+	dx := d.dx
+	md, gd, xd := d.lastMask.Data(), grad.Data(), dx.Data()
 	for i := range xd {
-		xd[i] *= md[i]
+		xd[i] = gd[i] * md[i]
 	}
 	return dx, nil
 }

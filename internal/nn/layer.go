@@ -24,13 +24,20 @@ type Param struct {
 }
 
 // Layer is a differentiable computation over a batch of samples.
+//
+// Layers run on the destination-passing compute path: the matrices returned
+// by Forward and Backward are owned by the layer and recycled on its next
+// Forward/Backward call. Callers that need a result to survive past the next
+// pass must copy it (Clone, CopyData, CopyRow).
 type Layer interface {
 	// Forward consumes a batch (one sample per row) and returns the layer
-	// output. Implementations may retain the input for the backward pass.
+	// output. Implementations may retain the input for the backward pass
+	// and reuse the returned matrix on subsequent calls.
 	Forward(x *mat.Matrix) (*mat.Matrix, error)
 	// Backward consumes the gradient of the loss with respect to the layer
 	// output and returns the gradient with respect to the layer input,
-	// accumulating parameter gradients along the way.
+	// accumulating parameter gradients along the way. The returned matrix
+	// is reused on subsequent calls.
 	Backward(grad *mat.Matrix) (*mat.Matrix, error)
 	// Params returns the trainable parameters, or nil for stateless layers.
 	Params() []Param
@@ -41,6 +48,9 @@ type Dense struct {
 	in, out int
 	w, b    Param
 	lastX   *mat.Matrix
+	// Recycled buffers: output, input gradient, dW scratch, bias sums.
+	y, dx, dw *mat.Matrix
+	sums      []float64
 }
 
 var _ Layer = (*Dense)(nil)
@@ -69,14 +79,14 @@ func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: dense forward: input width %d, want %d", x.Cols(), d.in)
 	}
 	d.lastX = x
-	y, err := mat.Mul(nil, x, d.w.Value)
-	if err != nil {
+	d.y = ensureMat(d.y, x.Rows(), d.out)
+	if err := mat.MulTo(d.y, x, d.w.Value); err != nil {
 		return nil, fmt.Errorf("nn: dense forward: %w", err)
 	}
-	if err := mat.AddRowVector(y, d.b.Value.Row(0)); err != nil {
+	if err := mat.AddRowVector(d.y, d.b.Value.Row(0)); err != nil {
 		return nil, fmt.Errorf("nn: dense forward bias: %w", err)
 	}
-	return y, nil
+	return d.y, nil
 }
 
 // Backward implements Layer.
@@ -85,25 +95,28 @@ func (d *Dense) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: dense backward before forward")
 	}
 	// dW += xᵀ·grad
-	dw, err := mat.MulTransA(nil, d.lastX, grad)
-	if err != nil {
+	d.dw = ensureMat(d.dw, d.in, d.out)
+	if err := mat.MulTransATo(d.dw, d.lastX, grad); err != nil {
 		return nil, fmt.Errorf("nn: dense backward dW: %w", err)
 	}
-	if err := d.w.Grad.AddScaled(dw, 1); err != nil {
+	if err := d.w.Grad.AddScaled(d.dw, 1); err != nil {
 		return nil, fmt.Errorf("nn: dense backward accumulate dW: %w", err)
 	}
 	// db += column sums of grad
 	bias := d.b.Grad.Row(0)
-	sums := grad.SumRows()
-	for i, v := range sums {
+	d.sums = ensureVec(d.sums, d.out)
+	if err := grad.SumRowsTo(d.sums); err != nil {
+		return nil, fmt.Errorf("nn: dense backward db: %w", err)
+	}
+	for i, v := range d.sums {
 		bias[i] += v
 	}
 	// dx = grad·Wᵀ
-	dx, err := mat.MulTransB(nil, grad, d.w.Value)
-	if err != nil {
+	d.dx = ensureMat(d.dx, grad.Rows(), d.in)
+	if err := mat.MulTransBTo(d.dx, grad, d.w.Value); err != nil {
 		return nil, fmt.Errorf("nn: dense backward dx: %w", err)
 	}
-	return dx, nil
+	return d.dx, nil
 }
 
 // Params implements Layer.
@@ -140,6 +153,7 @@ func (a Activation) String() string {
 type Activate struct {
 	kind  Activation
 	lastY *mat.Matrix
+	dx    *mat.Matrix
 }
 
 var _ Layer = (*Activate)(nil)
@@ -149,22 +163,22 @@ func NewActivate(kind Activation) *Activate { return &Activate{kind: kind} }
 
 // Forward implements Layer.
 func (a *Activate) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	y := x.Clone()
+	y := ensureMat(a.lastY, x.Rows(), x.Cols())
+	var err error
 	switch a.kind {
 	case ActReLU:
-		y.Apply(func(v float64) float64 {
-			if v < 0 {
-				return 0
-			}
-			return v
-		})
+		err = mat.ApplyTo(y, x, relu)
 	case ActTanh:
-		y.Apply(tanh)
+		err = mat.ApplyTo(y, x, tanh)
 	case ActSigmoid:
-		y.Apply(sigmoid)
+		err = mat.ApplyTo(y, x, sigmoid)
 	case ActIdentity:
+		err = y.CopyFrom(x)
 	default:
 		return nil, fmt.Errorf("nn: unknown activation %v", a.kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("nn: activation forward: %w", err)
 	}
 	a.lastY = y
 	return y, nil
@@ -175,7 +189,11 @@ func (a *Activate) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 	if a.lastY == nil {
 		return nil, fmt.Errorf("nn: activation backward before forward")
 	}
-	dx := grad.Clone()
+	a.dx = ensureMat(a.dx, grad.Rows(), grad.Cols())
+	dx := a.dx
+	if err := dx.CopyFrom(grad); err != nil {
+		return nil, fmt.Errorf("nn: activation backward: %w", err)
+	}
 	yd := a.lastY.Data()
 	xd := dx.Data()
 	switch a.kind {
@@ -206,4 +224,11 @@ func (a *Activate) Params() []Param { return nil }
 func tanh(v float64) float64 {
 	// math.Tanh is accurate and fast enough for our layer sizes.
 	return mathTanh(v)
+}
+
+func relu(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }

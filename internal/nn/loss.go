@@ -12,27 +12,45 @@ import (
 // with the gradient of the loss with respect to the logits.
 //
 // The gradient is already divided by the batch size, so callers can feed it
-// straight into Network.Backward.
+// straight into Network.Backward. It is the allocating wrapper over
+// SoftmaxCrossEntropyTo.
 func SoftmaxCrossEntropy(logits *mat.Matrix, labels []int) (loss float64, grad *mat.Matrix, err error) {
+	grad = mat.New(logits.Rows(), logits.Cols())
+	loss, err = SoftmaxCrossEntropyTo(grad, logits, labels, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// SoftmaxCrossEntropyTo is the destination-passing form of
+// SoftmaxCrossEntropy: the gradient is written into grad (same shape as
+// logits) and probs, when non-nil, supplies a length-Cols scratch slice so
+// steady-state training loops allocate nothing.
+func SoftmaxCrossEntropyTo(grad, logits *mat.Matrix, labels []int, probs []float64) (loss float64, err error) {
 	n := logits.Rows()
 	if n != len(labels) {
-		return 0, nil, fmt.Errorf("nn: cross-entropy: %d rows, %d labels", n, len(labels))
+		return 0, fmt.Errorf("nn: cross-entropy: %d rows, %d labels", n, len(labels))
+	}
+	if grad == nil || grad.Rows() != n || grad.Cols() != logits.Cols() {
+		return 0, fmt.Errorf("nn: cross-entropy: grad buffer does not match %dx%d logits", n, logits.Cols())
 	}
 	if n == 0 {
-		return 0, mat.New(0, logits.Cols()), nil
+		return 0, nil
 	}
 	classes := logits.Cols()
-	grad = mat.New(n, classes)
-	probs := make([]float64, classes)
+	if len(probs) != classes {
+		probs = make([]float64, classes)
+	}
 	inv := 1 / float64(n)
 	for r := 0; r < n; r++ {
 		y := labels[r]
 		if y < 0 || y >= classes {
-			return 0, nil, fmt.Errorf("nn: cross-entropy: label %d out of range [0,%d)", y, classes)
+			return 0, fmt.Errorf("nn: cross-entropy: label %d out of range [0,%d)", y, classes)
 		}
 		row := logits.Row(r)
 		if _, err := mat.Softmax(probs, row); err != nil {
-			return 0, nil, fmt.Errorf("nn: cross-entropy softmax: %w", err)
+			return 0, fmt.Errorf("nn: cross-entropy softmax: %w", err)
 		}
 		p := probs[y]
 		if p < 1e-12 {
@@ -45,20 +63,34 @@ func SoftmaxCrossEntropy(logits *mat.Matrix, labels []int) (loss float64, grad *
 		}
 		g[y] -= inv
 	}
-	return loss * inv, grad, nil
+	return loss * inv, nil
 }
 
 // MSE computes the mean squared error between pred and target along with
 // the gradient with respect to pred (already divided by the element count).
+// It is the allocating wrapper over MSETo.
 func MSE(pred, target *mat.Matrix) (loss float64, grad *mat.Matrix, err error) {
+	grad = mat.New(pred.Rows(), pred.Cols())
+	loss, err = MSETo(grad, pred, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// MSETo is the destination-passing form of MSE: the gradient is written
+// into grad, which must match pred's shape.
+func MSETo(grad, pred, target *mat.Matrix) (loss float64, err error) {
 	if pred.Rows() != target.Rows() || pred.Cols() != target.Cols() {
-		return 0, nil, fmt.Errorf("nn: mse: pred %dx%d target %dx%d",
+		return 0, fmt.Errorf("nn: mse: pred %dx%d target %dx%d",
 			pred.Rows(), pred.Cols(), target.Rows(), target.Cols())
 	}
+	if grad == nil || grad.Rows() != pred.Rows() || grad.Cols() != pred.Cols() {
+		return 0, fmt.Errorf("nn: mse: grad buffer does not match %dx%d pred", pred.Rows(), pred.Cols())
+	}
 	n := pred.Size()
-	grad = mat.New(pred.Rows(), pred.Cols())
 	if n == 0 {
-		return 0, grad, nil
+		return 0, nil
 	}
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	inv := 1 / float64(n)
@@ -67,7 +99,7 @@ func MSE(pred, target *mat.Matrix) (loss float64, grad *mat.Matrix, err error) {
 		loss += d * d
 		gd[i] = 2 * d * inv
 	}
-	return loss * inv, grad, nil
+	return loss * inv, nil
 }
 
 // Accuracy reports the fraction of rows of logits whose argmax matches the

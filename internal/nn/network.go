@@ -10,11 +10,20 @@ import (
 // Network is an ordered stack of layers trained end to end.
 type Network struct {
 	layers []Layer
+	params []Param // cached: the layer stack is immutable after construction
 }
 
 // NewNetwork builds a network from the given layers in order.
 func NewNetwork(layers ...Layer) *Network {
-	return &Network{layers: layers}
+	n := &Network{layers: layers}
+	for _, l := range layers {
+		n.params = append(n.params, l.Params()...)
+	}
+	// Re-slice to exact length so callers appending to the returned slice
+	// (to add their own parameters) always reallocate instead of scribbling
+	// over a shared backing array.
+	n.params = n.params[:len(n.params):len(n.params)]
+	return n
 }
 
 // NewMLP builds a multilayer perceptron with the given layer widths
@@ -43,6 +52,11 @@ func (n *Network) Layers() []Layer {
 }
 
 // Forward runs a batch through every layer.
+//
+// The returned matrix is owned by the network's final layer and is reused
+// by the next Forward call, so callers that need two forward results alive
+// at once (e.g. V(s) and V(s')) must copy the first before computing the
+// second.
 func (n *Network) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	var err error
 	for i, l := range n.layers {
@@ -65,13 +79,11 @@ func (n *Network) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 	return grad, nil
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is
+// cached and shared across calls — callers must not modify its elements
+// (appending is safe: the slice is capacity-clipped).
 func (n *Network) Params() []Param {
-	var out []Param
-	for _, l := range n.layers {
-		out = append(out, l.Params()...)
-	}
-	return out
+	return n.params
 }
 
 // ZeroGrad clears all accumulated gradients.
@@ -93,11 +105,24 @@ func (n *Network) NumParams() int {
 // FlattenParams serializes all parameter values into a single vector, the
 // representation exchanged between edge nodes and the parameter server.
 func (n *Network) FlattenParams() []float64 {
-	out := make([]float64, 0, n.NumParams())
-	for _, p := range n.Params() {
-		out = append(out, p.Value.Data()...)
-	}
+	out := make([]float64, n.NumParams())
+	_ = n.FlattenParamsInto(out)
 	return out
+}
+
+// FlattenParamsInto serializes all parameter values into dst, which must
+// have length NumParams. It is the allocation-free form of FlattenParams.
+func (n *Network) FlattenParamsInto(dst []float64) error {
+	if len(dst) != n.NumParams() {
+		return fmt.Errorf("nn: flatten %d params into buffer of %d", n.NumParams(), len(dst))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		d := p.Value.Data()
+		copy(dst[off:off+len(d)], d)
+		off += len(d)
+	}
+	return nil
 }
 
 // LoadParams overwrites all parameter values from a flat vector previously

@@ -42,6 +42,16 @@ func NewSGD(params []Param, lr, momentum float64) *SGD {
 	return s
 }
 
+// Reset zeroes the momentum state, as if the optimizer were freshly
+// constructed. Federated clients reuse one optimizer across rounds and call
+// Reset at each round start, matching the semantics of a per-round fresh
+// optimizer without reallocating the velocity buffers.
+func (s *SGD) Reset() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+}
+
 // Step implements Optimizer.
 func (s *SGD) Step() error {
 	for i, p := range s.params {

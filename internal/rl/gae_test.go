@@ -44,10 +44,12 @@ func TestAccumulateGAERestartsAtBoundaries(t *testing.T) {
 func TestAccumulateGAELambdaZeroIsTD(t *testing.T) {
 	trans := []Transition{{Done: false}, {Done: true}}
 	deltas := []float64{3, 7}
+	// accumulateGAE works in place, so snapshot the TD residuals first.
+	want := []float64{3, 7}
 	got := accumulateGAE(trans, deltas, 0.95, 0)
-	for i := range deltas {
-		if got[i] != deltas[i] {
-			t.Fatalf("λ=0 GAE differs from TD at %d: %v vs %v", i, got[i], deltas[i])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("λ=0 GAE differs from TD at %d: %v vs %v", i, got[i], want[i])
 		}
 	}
 }

@@ -26,6 +26,8 @@ type GaussianPolicy struct {
 	net       *nn.Network
 	logStd    nn.Param
 	actionDim int
+	params    []nn.Param  // cached: mean network params + logStd
+	xBuf      *mat.Matrix // recycled single-state input batch
 }
 
 // NewGaussianPolicy builds a policy whose mean network is an MLP with the
@@ -45,6 +47,8 @@ func NewGaussianPolicy(rng *rand.Rand, stateDim, actionDim int, hidden []int, in
 		logStd:    nn.Param{Value: mat.New(1, actionDim), Grad: mat.New(1, actionDim)},
 	}
 	p.logStd.Value.Fill(mat.Clamp(initLogStd, logStdMin, logStdMax))
+	p.params = append(p.params, net.Params()...)
+	p.params = append(p.params, p.logStd)
 	return p, nil
 }
 
@@ -52,9 +56,10 @@ func NewGaussianPolicy(rng *rand.Rand, stateDim, actionDim int, hidden []int, in
 func (p *GaussianPolicy) ActionDim() int { return p.actionDim }
 
 // Params returns the mean network's parameters plus the log-std vector, in
-// a stable order for the optimizer.
+// a stable order for the optimizer. The slice is cached and shared across
+// calls; callers must not modify it.
 func (p *GaussianPolicy) Params() []nn.Param {
-	return append(p.net.Params(), p.logStd)
+	return p.params
 }
 
 // ZeroGrad clears all parameter gradients.
@@ -72,20 +77,21 @@ func (p *GaussianPolicy) ClampLogStd() {
 	}
 }
 
-// Mean runs the mean network on a single state.
+// Mean runs the mean network on a single state. The result is a fresh
+// slice the caller owns.
 func (p *GaussianPolicy) Mean(state []float64) ([]float64, error) {
-	x, err := mat.NewFromData(1, len(state), state)
-	if err != nil {
-		return nil, fmt.Errorf("rl: policy mean: %w", err)
-	}
-	out, err := p.net.Forward(x)
+	p.xBuf = mat.Ensure(p.xBuf, 1, len(state))
+	copy(p.xBuf.Row(0), state)
+	out, err := p.net.Forward(p.xBuf)
 	if err != nil {
 		return nil, fmt.Errorf("rl: policy mean: %w", err)
 	}
 	return mat.CloneVec(out.Row(0)), nil
 }
 
-// MeanBatch runs the mean network on a batch of states (one per row).
+// MeanBatch runs the mean network on a batch of states (one per row). The
+// returned matrix is the network's recycled output buffer; it is valid
+// until the next forward pass through the policy.
 func (p *GaussianPolicy) MeanBatch(states *mat.Matrix) (*mat.Matrix, error) {
 	return p.net.Forward(states)
 }

@@ -102,6 +102,16 @@ type PPO struct {
 	optA    *nn.Adam
 	optC    *nn.Adam
 	episode int
+
+	// Recycled update scratch: batched states, the V(s) copy taken before
+	// the V(s') forward pass overwrites the critic's output buffer, TD
+	// targets plus the critic loss gradient, and the actor mean gradient.
+	// Reused across Update calls so steady-state training allocates nothing.
+	states, nextStates *mat.Matrix
+	targets, cgrad     *mat.Matrix
+	meanGrad           *mat.Matrix
+	oneState           *mat.Matrix
+	vBuf, adv          []float64
 }
 
 // NewPPO builds an agent for the given state/action dimensions.
@@ -145,11 +155,9 @@ func (p *PPO) ActDeterministic(state []float64) ([]float64, error) {
 
 // Value estimates V(s) for a single state.
 func (p *PPO) Value(state []float64) (float64, error) {
-	x, err := mat.NewFromData(1, len(state), state)
-	if err != nil {
-		return 0, fmt.Errorf("rl: value: %w", err)
-	}
-	out, err := p.critic.Forward(x)
+	p.oneState = mat.Ensure(p.oneState, 1, len(state))
+	copy(p.oneState.Row(0), state)
+	out, err := p.critic.Forward(p.oneState)
 	if err != nil {
 		return 0, fmt.Errorf("rl: value: %w", err)
 	}
@@ -178,8 +186,9 @@ func (p *PPO) Update(buf *Buffer) (UpdateStats, error) {
 	n := len(trans)
 	stateDim := len(trans[0].State)
 
-	states := mat.New(n, stateDim)
-	nextStates := mat.New(n, stateDim)
+	p.states = mat.Ensure(p.states, n, stateDim)
+	p.nextStates = mat.Ensure(p.nextStates, n, stateDim)
+	states, nextStates := p.states, p.nextStates
 	for i, t := range trans {
 		copy(states.Row(i), t.State)
 		copy(nextStates.Row(i), t.NextState)
@@ -193,7 +202,7 @@ func (p *PPO) Update(buf *Buffer) (UpdateStats, error) {
 		return UpdateStats{}, err
 	}
 	if p.cfg.GAELambda > 0 {
-		adv = accumulateGAE(trans, adv, p.cfg.Gamma, p.cfg.GAELambda)
+		accumulateGAE(trans, adv, p.cfg.Gamma, p.cfg.GAELambda)
 	}
 	normalizeAdvantages(adv)
 
@@ -219,41 +228,50 @@ func (p *PPO) Update(buf *Buffer) (UpdateStats, error) {
 }
 
 // tdAdvantages computes r + γV(s')(1−done) − V(s) with the current critic.
+// The returned slice is owned by the agent and reused by the next call.
 func (p *PPO) tdAdvantages(trans []Transition, states, nextStates *mat.Matrix) ([]float64, error) {
 	v, err := p.critic.Forward(states)
 	if err != nil {
 		return nil, err
 	}
+	// The critic recycles its output buffer, so V(s) must be copied out
+	// before the V(s') pass overwrites it.
+	p.vBuf = mat.EnsureVec(p.vBuf, len(trans))
+	for i := range trans {
+		p.vBuf[i] = v.At(i, 0)
+	}
 	vn, err := p.critic.Forward(nextStates)
 	if err != nil {
 		return nil, err
 	}
-	adv := make([]float64, len(trans))
+	p.adv = mat.EnsureVec(p.adv, len(trans))
+	adv := p.adv
 	for i, t := range trans {
 		next := vn.At(i, 0)
 		if t.Done {
 			next = 0
 		}
-		adv[i] = t.Reward + p.cfg.Gamma*next - v.At(i, 0)
+		adv[i] = t.Reward + p.cfg.Gamma*next - p.vBuf[i]
 	}
 	return adv, nil
 }
 
-// accumulateGAE folds TD residuals δ_t into GAE(λ) advantages
+// accumulateGAE folds TD residuals δ_t in place into GAE(λ) advantages
 // Â_t = Σ_l (γλ)^l δ_{t+l}, restarting at episode boundaries. The input
 // residuals must be in trajectory order, which is how the mechanisms fill
-// their buffers.
+// their buffers. The backward sweep reads each δ_i exactly once before
+// overwriting it, so deltas doubles as the output (also returned for
+// convenience).
 func accumulateGAE(trans []Transition, deltas []float64, gamma, lambda float64) []float64 {
-	out := make([]float64, len(deltas))
 	var running float64
 	for i := len(deltas) - 1; i >= 0; i-- {
 		if trans[i].Done {
 			running = 0
 		}
 		running = deltas[i] + gamma*lambda*running
-		out[i] = running
+		deltas[i] = running
 	}
-	return out
+	return deltas
 }
 
 func normalizeAdvantages(adv []float64) {
@@ -276,7 +294,8 @@ func (p *PPO) updateCritic(trans []Transition, states, nextStates *mat.Matrix) (
 		return 0, err
 	}
 	n := len(trans)
-	targets := mat.New(n, 1)
+	p.targets = mat.Ensure(p.targets, n, 1)
+	targets := p.targets
 	for i, t := range trans {
 		next := vn.At(i, 0)
 		if t.Done {
@@ -288,12 +307,13 @@ func (p *PPO) updateCritic(trans []Transition, states, nextStates *mat.Matrix) (
 	if err != nil {
 		return 0, err
 	}
-	loss, grad, err := nn.MSE(pred, targets)
+	p.cgrad = mat.Ensure(p.cgrad, n, 1)
+	loss, err := nn.MSETo(p.cgrad, pred, targets)
 	if err != nil {
 		return 0, err
 	}
 	p.critic.ZeroGrad()
-	if _, err := p.critic.Backward(grad); err != nil {
+	if _, err := p.critic.Backward(p.cgrad); err != nil {
 		return 0, err
 	}
 	if p.cfg.MaxGradNorm > 0 {
@@ -315,7 +335,9 @@ func (p *PPO) updateActor(trans []Transition, states *mat.Matrix, adv []float64)
 		return 0, 0, 0, err
 	}
 	ls := p.actor.logStd.Value.Data()
-	meanGrad := mat.New(n, actDim)
+	p.meanGrad = mat.Ensure(p.meanGrad, n, actDim)
+	meanGrad := p.meanGrad
+	meanGrad.Zero() // only the unclipped branch writes entries
 	logStdGrad := p.actor.logStd.Grad.Data()
 	p.actor.ZeroGrad()
 

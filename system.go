@@ -11,6 +11,7 @@ import (
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
 	"chiron/internal/fl"
+	"chiron/internal/mat"
 	"chiron/internal/nn"
 )
 
@@ -41,6 +42,10 @@ type SystemConfig struct {
 	// Accuracy overrides the accuracy model entirely (advanced use; takes
 	// precedence over Dataset and RealTraining).
 	Accuracy AccuracyModel
+	// Workers bounds the compute worker pool used by the matrix kernels
+	// (0 = GOMAXPROCS). Results are bit-identical at any worker count; the
+	// setting is process-wide, so the last constructed system wins.
+	Workers int
 }
 
 // System is the assembled reproduction: an environment and a hierarchical
@@ -59,11 +64,17 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("chiron: SystemConfig.Budget must be positive")
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("chiron: SystemConfig.Workers %d must be >= 0 (0 = GOMAXPROCS)", cfg.Workers)
+	}
 	if cfg.Dataset == 0 {
 		cfg.Dataset = DatasetMNIST
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.Workers != 0 {
+		mat.SetWorkers(cfg.Workers)
 	}
 
 	nodes := cfg.CustomNodes
