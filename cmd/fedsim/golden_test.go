@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace files")
+
+// goldenCases pin three representative fedsim runs: clean IID training,
+// non-IID with server momentum, and the failure-hardened pipeline under
+// crash/corrupt/drop faults with a quorum. Each output ends in a
+// bit-exact digest line, so the comparison detects one-ULP numeric drift
+// anywhere in the training trajectory, not just in the rounded log lines.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"mnist-iid-seed1", []string{
+		"-dataset", "mnist", "-nodes", "4", "-rounds", "6", "-samples", "300",
+		"-hidden", "8", "-seed", "1", "-log-every", "2"}},
+	{"fashion-dirichlet-momentum-seed2", []string{
+		"-dataset", "fashion", "-nodes", "5", "-rounds", "5", "-samples", "300",
+		"-hidden", "8", "-seed", "2", "-log-every", "1",
+		"-partition", "dirichlet", "-alpha", "0.5", "-server-momentum", "0.9", "-frac", "0.6"}},
+	{"cifar-faulted-seed3", []string{
+		"-dataset", "cifar", "-nodes", "6", "-rounds", "6", "-samples", "300",
+		"-hidden", "8", "-seed", "3", "-log-every", "3",
+		"-crash-rate", "0.2", "-corrupt-rate", "0.2", "-drop-rate", "0.2",
+		"-max-retries", "1", "-min-quorum", "2", "-max-delta-norm", "50"}},
+}
+
+// TestGoldenTraces compares each pinned run's full output against its
+// testdata file. Regenerate after an intentional numeric change with
+//
+//	go test ./cmd/fedsim -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !bytes.Contains(buf.Bytes(), []byte("digest ")) {
+				t.Fatalf("output carries no digest line:\n%s", buf.String())
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s\n--- want ---\n%s--- got ---\n%s",
+					path, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestGoldenRunsAreDeterministic re-runs the faulted case and demands
+// byte-identical output — the property the golden files rely on.
+func TestGoldenRunsAreDeterministic(t *testing.T) {
+	tc := goldenCases[len(goldenCases)-1]
+	var first, second bytes.Buffer
+	if err := run(tc.args, &first); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(tc.args, &second); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("same seed, different output:\n--- first ---\n%s--- second ---\n%s",
+			first.String(), second.String())
+	}
+}
+
+// TestDigestDetectsOneULP proves the regression digest is ULP-sensitive:
+// nudging one hashed value by a single ULP must change the sum. This is
+// the development-time perturbation check from the acceptance criteria,
+// kept as a permanent guard on the digest machinery.
+func TestDigestDetectsOneULP(t *testing.T) {
+	base := []float64{0.5, 0.1234567890123456, 0.9}
+	perturbed := append([]float64(nil), base...)
+	perturbed[1] = math.Nextafter(perturbed[1], 2)
+	h1, h2 := fnv.New64a(), fnv.New64a()
+	hashFloats(h1, base...)
+	hashFloats(h2, perturbed...)
+	if h1.Sum64() == h2.Sum64() {
+		t.Fatalf("digest %016x unchanged by a one-ULP perturbation", h1.Sum64())
+	}
+}

@@ -22,11 +22,17 @@
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"chiron/internal/dataset"
@@ -37,9 +43,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// hashFloats folds the exact bit patterns of vals into h. Feeding bits
+// rather than formatted text makes the run digest sensitive to a single
+// ULP of drift anywhere in the hashed stream — printed accuracies round to
+// three decimals, so they alone could never catch it.
+func hashFloats(h hash.Hash64, vals ...float64) {
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
 	}
 }
 
@@ -51,7 +69,7 @@ type aggregator interface {
 	Evaluate() (float64, error)
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
 	datasetName := fs.String("dataset", "mnist", "synthetic task: mnist, fashion, or cifar")
 	nodes := fs.Int("nodes", 10, "number of clients")
@@ -169,13 +187,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fedsim: %s, %d clients (%s split), %d sampled/round, σ=%d epochs, server momentum %.2f\n",
+	fmt.Fprintf(w, "fedsim: %s, %d clients (%s split), %d sampled/round, σ=%d epochs, server momentum %.2f\n",
 		spec.Name, *nodes, *partition, perRound, fl.DefaultConfig().Epochs, *serverMomentum)
 	if sched != nil || *dropRate > 0 {
-		fmt.Printf("faults: crash %.0f%%, corrupt %.0f%%, drop %.0f%% (≤%d retries), quorum %d\n",
+		fmt.Fprintf(w, "faults: crash %.0f%%, corrupt %.0f%%, drop %.0f%% (≤%d retries), quorum %d\n",
 			100**crashRate, 100**corruptRate, 100**dropRate, *maxRetries, *minQuorum)
 	}
-	fmt.Printf("round   0: accuracy %.3f (untrained)\n", acc)
+	fmt.Fprintf(w, "round   0: accuracy %.3f (untrained)\n", acc)
+
+	// The digest pins the run bit-exactly: every evaluated accuracy and the
+	// final global parameter vector enter as raw float bits, so golden
+	// traces catch numeric drift the rounded log lines would hide.
+	digest := fnv.New64a()
+	hashFloats(digest, acc)
 
 	var crashed, dropped, rejected, skipped int
 	var global []float64
@@ -224,15 +248,21 @@ func run(args []string) error {
 		if acc, err = srv.Evaluate(); err != nil {
 			return err
 		}
+		hashFloats(digest, acc)
 		if *logEvery > 0 && (round%*logEvery == 0 || round == *rounds) {
-			fmt.Printf("round %3d: accuracy %.3f\n", round, acc)
+			fmt.Fprintf(w, "round %3d: accuracy %.3f\n", round, acc)
 		}
 	}
-	fmt.Printf("final accuracy after %d rounds: %.3f\n", *rounds, acc)
+	fmt.Fprintf(w, "final accuracy after %d rounds: %.3f\n", *rounds, acc)
 	if crashed+dropped+rejected+skipped > 0 {
-		fmt.Printf("failure summary: %d crashed, %d uploads dropped after retries, %d updates rejected, %d rounds skipped (quorum)\n",
+		fmt.Fprintf(w, "failure summary: %d crashed, %d uploads dropped after retries, %d updates rejected, %d rounds skipped (quorum)\n",
 			crashed, dropped, rejected, skipped)
 	}
+	final := baseServer.Global()
+	hashFloats(digest, final...)
+	fmt.Fprintf(w, "digest %016x over %d accuracies and %d parameters (final accuracy %s)\n",
+		digest.Sum64(), *rounds-skipped+1, len(final),
+		strconv.FormatFloat(acc, 'g', -1, 64))
 	return nil
 }
 

@@ -14,13 +14,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"chiron"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 250, 3); err != nil {
 		fmt.Fprintf(os.Stderr, "customdevice: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,16 +57,16 @@ func buildFleet() []*chiron.Node {
 	}
 }
 
-func run() error {
+func run(w io.Writer, episodes, evalEps int) error {
 	nodes := buildFleet()
 
 	// Inspect the closed-form best responses before training: what does
 	// each node do when offered the price that would drive it flat out?
-	fmt.Println("per-node best responses at each node's own full-speed price:")
-	fmt.Printf("%-4s %12s %12s %10s %10s %10s\n", "id", "ζ* (GHz)", "T_i (s)", "payment", "energy", "utility")
+	fmt.Fprintln(w, "per-node best responses at each node's own full-speed price:")
+	fmt.Fprintf(w, "%-4s %12s %12s %10s %10s %10s\n", "id", "ζ* (GHz)", "T_i (s)", "payment", "energy", "utility")
 	for _, n := range nodes {
 		resp := n.BestResponse(n.PriceForFreq(n.FreqMax))
-		fmt.Printf("%-4d %12.2f %12.1f %10.2f %10.2f %10.2f\n",
+		fmt.Fprintf(w, "%-4d %12.2f %12.1f %10.2f %10.2f %10.2f\n",
 			n.ID, resp.Freq/1e9, resp.Time, resp.Payment, resp.Energy, resp.Utility)
 	}
 
@@ -79,16 +80,15 @@ func run() error {
 		return err
 	}
 
-	const episodes = 250
-	fmt.Printf("\ntraining Chiron on the custom fleet for %d episodes...\n", episodes)
+	fmt.Fprintf(w, "\ntraining Chiron on the custom fleet for %d episodes...\n", episodes)
 	if _, err := sys.Train(episodes, nil); err != nil {
 		return err
 	}
-	res, err := sys.Evaluate(3)
+	res, err := sys.Evaluate(evalEps)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("result: %d rounds, accuracy %.3f, time efficiency %.1f%%, utility %.1f\n",
+	fmt.Fprintf(w, "result: %d rounds, accuracy %.3f, time efficiency %.1f%%, utility %.1f\n",
 		res.Rounds, res.FinalAccuracy, 100*res.TimeEfficiency, res.ServerUtility)
 
 	// Show the learned allocation: run one deterministic round and print
@@ -105,19 +105,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nlearned first-round allocation:")
-	fmt.Printf("%-4s %12s %12s %12s\n", "id", "price share", "ζ (GHz)", "T_i (s)")
+	fmt.Fprintln(w, "\nlearned first-round allocation:")
+	fmt.Fprintf(w, "%-4s %12s %12s %12s\n", "id", "price share", "ζ (GHz)", "T_i (s)")
 	total := 0.0
 	for _, p := range prices {
 		total += p
 	}
 	for i := range nodes {
-		fmt.Printf("%-4d %11.1f%% %12.2f %12.1f\n",
+		fmt.Fprintf(w, "%-4d %11.1f%% %12.2f %12.1f\n",
 			i, 100*prices[i]/total, step.Round.Freqs[i]/1e9, step.Round.Times[i])
 	}
-	fmt.Printf("round time %.1fs, idle time %.1fs, time efficiency %.1f%%\n",
+	fmt.Fprintf(w, "round time %.1fs, idle time %.1fs, time efficiency %.1f%%\n",
 		step.Round.RoundTime(), step.Round.IdleTime(), 100*step.Round.TimeEfficiency())
-	fmt.Println("\nnote how slower nodes receive larger price shares so their compute")
-	fmt.Println("time shrinks toward the fleet's common finish time (Lemma 1).")
+	fmt.Fprintln(w, "\nnote how slower nodes receive larger price shares so their compute")
+	fmt.Fprintln(w, "time shrinks toward the fleet's common finish time (Lemma 1).")
 	return nil
 }

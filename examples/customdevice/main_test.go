@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke exercises the hand-built fleet walkthrough — best-response
+// inspection, training, and the learned-allocation printout — at smoke
+// scale.
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 3, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,25 +21,23 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the paper's full 500 episodes per budget")
 	flag.Parse()
-	if err := run(*full); err != nil {
+	episodes := 150
+	if *full {
+		episodes = 500
+	}
+	if err := run(os.Stdout, 100, episodes, []float64{140, 220, 300, 380}); err != nil {
 		fmt.Fprintf(os.Stderr, "largescale: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool) error {
-	episodes := 150
-	if full {
-		episodes = 500
-	}
-	budgets := []float64{140, 220, 300, 380}
-
-	fmt.Printf("Table I reproduction: 100 nodes, MNIST, %d episodes per budget\n\n", episodes)
-	fmt.Printf("%-8s %10s %8s %16s\n", "η", "Accuracy", "Rounds", "Time Efficiency")
+func run(w io.Writer, nodes, episodes int, budgets []float64) error {
+	fmt.Fprintf(w, "Table I reproduction: %d nodes, MNIST, %d episodes per budget\n\n", nodes, episodes)
+	fmt.Fprintf(w, "%-8s %10s %8s %16s\n", "η", "Accuracy", "Rounds", "Time Efficiency")
 	for _, eta := range budgets {
 		start := time.Now()
 		sys, err := chiron.NewSystem(chiron.SystemConfig{
-			Nodes:   100,
+			Nodes:   nodes,
 			Dataset: chiron.DatasetMNIST, // ≥50 nodes selects the Table-I-calibrated curve
 			Budget:  eta,
 			Seed:    7,
@@ -53,13 +52,13 @@ func run(full bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8.0f %10.3f %8d %15.1f%%   (%v)\n",
+		fmt.Fprintf(w, "%-8.0f %10.3f %8d %15.1f%%   (%v)\n",
 			eta, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, time.Since(start).Round(time.Second))
 	}
-	fmt.Println("\npaper's Table I for reference:")
-	fmt.Println("  η=140 → 0.916 / 16 rounds / 71.3%")
-	fmt.Println("  η=220 → 0.929 / 23 rounds / 72.2%")
-	fmt.Println("  η=300 → 0.938 / 31 rounds / 72.7%")
-	fmt.Println("  η=380 → 0.943 / 34 rounds / 73.4%")
+	fmt.Fprintln(w, "\npaper's Table I for reference:")
+	fmt.Fprintln(w, "  η=140 → 0.916 / 16 rounds / 71.3%")
+	fmt.Fprintln(w, "  η=220 → 0.929 / 23 rounds / 72.2%")
+	fmt.Fprintln(w, "  η=300 → 0.938 / 31 rounds / 72.7%")
+	fmt.Fprintln(w, "  η=380 → 0.943 / 34 rounds / 73.4%")
 	return nil
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"chiron"
@@ -17,31 +18,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 5, 200, 3, 300); err != nil {
 		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(w io.Writer, nodes, episodes, evalEps int, budget float64) error {
 	sys, err := chiron.NewSystem(chiron.SystemConfig{
-		Nodes:   5,
+		Nodes:   nodes,
 		Dataset: chiron.DatasetMNIST,
-		Budget:  300,
+		Budget:  budget,
 		Seed:    7,
 	})
 	if err != nil {
 		return err
 	}
 
-	// Train the hierarchical agent. 200 episodes is enough to see the
-	// pacing behaviour emerge; the paper trains 500.
-	const episodes = 200
-	fmt.Printf("training Chiron for %d episodes on %d nodes (budget %.0f)...\n",
+	// Training for ~200 episodes is enough to see the pacing behaviour
+	// emerge; the paper trains 500.
+	fmt.Fprintf(w, "training Chiron for %d episodes on %d nodes (budget %.0f)...\n",
 		episodes, sys.Env().NumNodes(), sys.Env().Ledger().Budget())
 	_, err = sys.Train(episodes, func(r chiron.EpisodeResult) {
 		if r.Episode%40 == 0 {
-			fmt.Printf("  episode %3d: rounds=%3d accuracy=%.3f reward=%8.1f\n",
+			fmt.Fprintf(w, "  episode %3d: rounds=%3d accuracy=%.3f reward=%8.1f\n",
 				r.Episode, r.Rounds, r.FinalAccuracy, r.ExteriorReturn)
 		}
 	})
@@ -50,7 +50,7 @@ func run() error {
 	}
 
 	// Evaluate all three mechanisms under the identical budget.
-	chironRes, err := sys.Evaluate(3)
+	chironRes, err := sys.Evaluate(evalEps)
 	if err != nil {
 		return err
 	}
@@ -61,7 +61,7 @@ func run() error {
 	if _, err := drl.Train(episodes, nil); err != nil {
 		return err
 	}
-	drlRes, err := core.EvaluateMechanism(drl, 3)
+	drlRes, err := core.EvaluateMechanism(drl, evalEps)
 	if err != nil {
 		return err
 	}
@@ -72,13 +72,13 @@ func run() error {
 	if _, err := greedy.Train(episodes, nil); err != nil {
 		return err
 	}
-	greedyRes, err := core.EvaluateMechanism(greedy, 3)
+	greedyRes, err := core.EvaluateMechanism(greedy, evalEps)
 	if err != nil {
 		return err
 	}
 
-	fmt.Println("\nsame budget, three mechanisms:")
-	fmt.Printf("%-12s %10s %8s %10s %10s\n", "mechanism", "accuracy", "rounds", "time-eff", "utility")
+	fmt.Fprintln(w, "\nsame budget, three mechanisms:")
+	fmt.Fprintf(w, "%-12s %10s %8s %10s %10s\n", "mechanism", "accuracy", "rounds", "time-eff", "utility")
 	for _, row := range []struct {
 		name string
 		r    chiron.EpisodeResult
@@ -87,10 +87,10 @@ func run() error {
 		{"DRL-based", drlRes},
 		{"Greedy", greedyRes},
 	} {
-		fmt.Printf("%-12s %10.3f %8d %9.1f%% %10.1f\n",
+		fmt.Fprintf(w, "%-12s %10.3f %8d %9.1f%% %10.1f\n",
 			row.name, row.r.FinalAccuracy, row.r.Rounds, 100*row.r.TimeEfficiency, row.r.ServerUtility)
 	}
-	fmt.Println("\nChiron paces the budget across more training rounds, ending with the")
-	fmt.Println("best model under the same total payment (the paper's Fig. 4 behaviour).")
+	fmt.Fprintln(w, "\nChiron paces the budget across more training rounds, ending with the")
+	fmt.Fprintln(w, "best model under the same total payment (the paper's Fig. 4 behaviour).")
 	return nil
 }

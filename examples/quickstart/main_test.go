@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke drives the full quickstart flow — train Chiron, train both
+// learned baselines, evaluate all three — at smoke scale, so the example
+// keeps compiling and running as the APIs underneath it evolve.
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 3, 3, 1, 40); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

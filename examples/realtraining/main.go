@@ -16,6 +16,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,17 +24,17 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 15, 1, 150); err != nil {
 		fmt.Fprintf(os.Stderr, "realtraining: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(w io.Writer, episodes, evalEps int, budget float64) error {
 	sys, err := chiron.NewSystem(chiron.SystemConfig{
 		Nodes:        5,
 		Dataset:      chiron.DatasetMNIST,
-		Budget:       150,
+		Budget:       budget,
 		Seed:         7,
 		RealTraining: true, // FedAvg over real Go neural networks
 	})
@@ -41,27 +42,26 @@ func run() error {
 		return err
 	}
 
-	const episodes = 15
-	fmt.Printf("training Chiron with REAL federated neural training, %d episodes\n", episodes)
-	fmt.Println("(each round: 5 nodes × 5 local epochs of mini-batch SGD + FedAvg + test-set eval)")
+	fmt.Fprintf(w, "training Chiron with REAL federated neural training, %d episodes\n", episodes)
+	fmt.Fprintln(w, "(each round: 5 nodes × 5 local epochs of mini-batch SGD + FedAvg + test-set eval)")
 	start := time.Now()
 	_, err = sys.Train(episodes, func(r chiron.EpisodeResult) {
-		fmt.Printf("  episode %2d: rounds=%2d measured accuracy=%.3f reward=%7.1f time-eff=%5.1f%%\n",
+		fmt.Fprintf(w, "  episode %2d: rounds=%2d measured accuracy=%.3f reward=%7.1f time-eff=%5.1f%%\n",
 			r.Episode, r.Rounds, r.FinalAccuracy, r.ExteriorReturn, 100*r.TimeEfficiency)
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained in %v\n\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(w, "trained in %v\n\n", time.Since(start).Round(time.Second))
 
-	res, err := sys.Evaluate(1)
+	res, err := sys.Evaluate(evalEps)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("deterministic episode: %d rounds, measured accuracy %.3f, spent %.1f of budget\n",
+	fmt.Fprintf(w, "deterministic episode: %d rounds, measured accuracy %.3f, spent %.1f of budget\n",
 		res.Rounds, res.FinalAccuracy, res.BudgetSpent)
-	fmt.Println("\nthe accuracy signal here is computed from a live parameter server")
-	fmt.Println("aggregating real gradient-descent updates — the same measurement the")
-	fmt.Println("paper's PyTorch simulator made, built on this repo's nn/fl substrates.")
+	fmt.Fprintln(w, "\nthe accuracy signal here is computed from a live parameter server")
+	fmt.Fprintln(w, "aggregating real gradient-descent updates — the same measurement the")
+	fmt.Fprintln(w, "paper's PyTorch simulator made, built on this repo's nn/fl substrates.")
 	return nil
 }

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke runs one short real-FedAvg episode: the slowest example,
+// but the only one exercising the live neural-training accuracy path.
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 1, 1, 30); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

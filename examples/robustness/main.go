@@ -14,6 +14,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -26,20 +27,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 5, 250, 3, 300); err != nil {
 		fmt.Fprintf(os.Stderr, "robustness: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	const (
-		nodes   = 5
-		budget  = 300
-		seed    = 7
-		eps     = 250
-		evalEps = 3
-	)
+func run(w io.Writer, nodes, eps, evalEps int, budget float64) error {
+	const seed = 7
 
 	// Train on the clean environment.
 	sys, err := chiron.NewSystem(chiron.SystemConfig{
@@ -48,7 +43,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training Chiron on the clean environment (%d episodes)...\n", eps)
+	fmt.Fprintf(w, "training Chiron on the clean environment (%d episodes)...\n", eps)
 	if _, err := sys.Train(eps, nil); err != nil {
 		return err
 	}
@@ -86,8 +81,8 @@ func run() error {
 		{"faults: severe (6x mix)", 0, 0, faultMix.Scale(6)},
 		{"severe faults + 30% jitter", 0.30, 0, faultMix.Scale(6)},
 	}
-	fmt.Printf("\nfrozen policy under churn and injected faults (%d eval episodes each):\n", evalEps)
-	fmt.Printf("%-30s %10s %8s %10s %10s\n", "scenario", "accuracy", "rounds", "time-eff", "failures")
+	fmt.Fprintf(w, "\nfrozen policy under churn and injected faults (%d eval episodes each):\n", evalEps)
+	fmt.Fprintf(w, "%-30s %10s %8s %10s %10s\n", "scenario", "accuracy", "rounds", "time-eff", "failures")
 	for _, sc := range scenarios {
 		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, nodes)
 		if err != nil {
@@ -130,12 +125,12 @@ func run() error {
 		for _, r := range env.Ledger().Rounds() {
 			failures += r.Failures()
 		}
-		fmt.Printf("%-30s %10.3f %8d %9.1f%% %10d\n",
+		fmt.Fprintf(w, "%-30s %10.3f %8d %9.1f%% %10d\n",
 			sc.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, failures)
 	}
-	fmt.Println("\nthe policy degrades gracefully: jitter erodes time consistency,")
-	fmt.Println("node churn slows the accuracy climb via missed participation, and")
-	fmt.Println("injected faults cost failed rounds — but the deadline, quorum, and")
-	fmt.Println("no-pay-on-failure rules keep every episode running within budget.")
+	fmt.Fprintln(w, "\nthe policy degrades gracefully: jitter erodes time consistency,")
+	fmt.Fprintln(w, "node churn slows the accuracy climb via missed participation, and")
+	fmt.Fprintln(w, "injected faults cost failed rounds — but the deadline, quorum, and")
+	fmt.Fprintln(w, "no-pay-on-failure rules keep every episode running within budget.")
 	return nil
 }

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke trains a tiny policy and sweeps all nine churn/fault
+// scenarios with one evaluation episode each.
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 3, 2, 1, 60); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package market
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCommitRejectsNonFinitePayment(t *testing.T) {
+	for _, payment := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		l, err := NewLedger(100)
+		if err != nil {
+			t.Fatalf("NewLedger: %v", err)
+		}
+		if err := l.Commit(Round{Payment: payment, Times: []float64{1}}); err == nil {
+			t.Errorf("Commit accepted payment %v", payment)
+		}
+		// The rejected round must leave the ledger untouched.
+		if l.Remaining() != 100 || l.NumRounds() != 0 {
+			t.Errorf("payment %v mutated ledger: remaining %v, rounds %d",
+				payment, l.Remaining(), l.NumRounds())
+		}
+	}
+}
+
+func TestCommitRejectsNegativePaymentExplicitly(t *testing.T) {
+	l, err := NewLedger(100)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	err = l.Commit(Round{Payment: -3, Times: []float64{1}})
+	if err == nil || !strings.Contains(err.Error(), "negative payment") {
+		t.Fatalf("Commit(-3) err = %v, want explicit negative-payment error", err)
+	}
+}
+
+func TestAddWasteRejectsInvalidSeconds(t *testing.T) {
+	l, err := NewLedger(100)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	for _, s := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := l.AddWaste(s); err == nil {
+			t.Errorf("AddWaste accepted %v", s)
+		}
+	}
+	if l.WastedTime() != 0 {
+		t.Fatalf("rejected waste leaked into the total: %v", l.WastedTime())
+	}
+	if err := l.AddWaste(2.5); err != nil {
+		t.Fatalf("AddWaste(2.5): %v", err)
+	}
+	if l.WastedTime() != 2.5 {
+		t.Fatalf("WastedTime %v, want 2.5", l.WastedTime())
+	}
+}
+
+func TestNewLedgerRejectsNonFiniteBudget(t *testing.T) {
+	for _, b := range []float64{0, -5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewLedger(b); err == nil {
+			t.Errorf("NewLedger accepted budget %v", b)
+		}
+	}
+}
+
+func TestTimeEfficiencyEdgeCases(t *testing.T) {
+	empty := Round{}
+	if got := empty.TimeEfficiency(); got != 0 {
+		t.Errorf("empty round efficiency %v, want 0", got)
+	}
+	zeros := Round{Times: []float64{0, 0, 0}}
+	if got := zeros.TimeEfficiency(); got != 0 {
+		t.Errorf("all-zero round efficiency %v, want 0", got)
+	}
+	// One participant among N idle nodes: Eqn. (16) gives 1/N.
+	single := Round{Times: []float64{0, 0, 0, 12}, Participants: 1}
+	if got, want := single.TimeEfficiency(), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-participant efficiency %v, want %v", got, want)
+	}
+	// Perfect time consistency: everyone finishes together.
+	perfect := Round{Times: []float64{7, 7, 7}, Participants: 3}
+	if got := perfect.TimeEfficiency(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect round efficiency %v, want 1", got)
+	}
+}
+
+func TestLedgerMetricsZeroRounds(t *testing.T) {
+	l, err := NewLedger(50)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	if got := l.MeanTimeEfficiency(); got != 0 {
+		t.Errorf("MeanTimeEfficiency with no rounds %v, want 0", got)
+	}
+	if got := l.FinalAccuracy(); got != 0 {
+		t.Errorf("FinalAccuracy with no rounds %v, want 0", got)
+	}
+	if got := l.ServerUtility(2000, 0.3); got != 0 {
+		t.Errorf("ServerUtility with no rounds %v, want 0", got)
+	}
+	// Waste still counts toward the utility's time term even with zero
+	// training rounds (a run of nothing but failed offers).
+	if err := l.AddWaste(10); err != nil {
+		t.Fatalf("AddWaste: %v", err)
+	}
+	if got, want := l.ServerUtility(2000, 0.3), -3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ServerUtility with waste only %v, want %v", got, want)
+	}
+}
+
+func TestLedgerAllFailedRound(t *testing.T) {
+	l, err := NewLedger(50)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	// Every joiner failed: quorum missed, accuracy frozen at the previous
+	// value, only failure payments spent, but the time was still burned.
+	r := Round{
+		Prices:       []float64{1, 1, 1},
+		Freqs:        []float64{2, 3, 4},
+		Times:        []float64{5, 6, 8},
+		Outcomes:     []Outcome{OutcomeCrashed, OutcomeDropped, OutcomeCorrupted},
+		Payment:      0.9, // 10% failure fraction of Σ p·ζ = 9
+		Accuracy:     0.1,
+		Participants: 3,
+		Completed:    0,
+	}
+	if err := l.Commit(r); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := l.Rounds()[0].Failures(); got != 3 {
+		t.Errorf("failures %d, want 3", got)
+	}
+	if got, want := l.TotalSpent(), 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalSpent %v, want %v", got, want)
+	}
+	if got, want := l.TotalTime(), 8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalTime %v, want %v", got, want)
+	}
+	// Time efficiency is still well defined: (5+6+8)/(3·8).
+	if got, want := l.MeanTimeEfficiency(), 19.0/24.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanTimeEfficiency %v, want %v", got, want)
+	}
+	if got, want := l.ServerUtility(2000, 1), 2000*0.1-8.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ServerUtility %v, want %v", got, want)
+	}
+}

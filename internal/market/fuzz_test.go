@@ -1,0 +1,65 @@
+package market
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLedgerCommit drives a ledger with fuzzed budget, payment, and waste
+// floats — every NaN, Inf, negative, and overdraft combination the bit
+// space can express. The ledger must reject invalid inputs atomically and
+// its budget identity (spent + remaining = η, spending never exceeds η)
+// must survive every accepted operation.
+func FuzzLedgerCommit(f *testing.F) {
+	f.Add(100.0, 30.0, 80.0, 5.0)
+	f.Add(100.0, math.NaN(), 1.0, -2.0)
+	f.Add(0.0, 1.0, 1.0, 1.0)
+	f.Add(math.Inf(1), 1.0, math.Inf(-1), math.NaN())
+	f.Add(50.0, -3.0, 50.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, budget, pay1, pay2, waste float64) {
+		l, err := NewLedger(budget)
+		if err != nil {
+			if budget > 0 && !math.IsNaN(budget) && !math.IsInf(budget, 0) {
+				t.Fatalf("valid budget %v rejected: %v", budget, err)
+			}
+			return
+		}
+		if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+			t.Fatalf("invalid budget %v accepted", budget)
+		}
+		check := func(op string) {
+			t.Helper()
+			spent, rem := l.TotalSpent(), l.Remaining()
+			if math.IsNaN(spent) || math.IsNaN(rem) {
+				t.Fatalf("%s: NaN leaked into the ledger (spent %v, remaining %v)", op, spent, rem)
+			}
+			if rem < 0 || rem > budget {
+				t.Fatalf("%s: remaining %v outside [0, η=%v]", op, rem, budget)
+			}
+			if math.Abs(spent+rem-budget) > 1e-9*budget {
+				t.Fatalf("%s: spent %v + remaining %v ≠ η %v", op, spent, rem, budget)
+			}
+			if l.WastedTime() < 0 || math.IsNaN(l.WastedTime()) {
+				t.Fatalf("%s: wasted time %v", op, l.WastedTime())
+			}
+		}
+		for _, pay := range []float64{pay1, pay2} {
+			remBefore, roundsBefore := l.Remaining(), l.NumRounds()
+			err := l.Commit(Round{Payment: pay, Times: []float64{1}, Participants: 1})
+			valid := pay >= 0 && !math.IsNaN(pay) && !math.IsInf(pay, 0) && pay <= remBefore
+			if valid != (err == nil) {
+				t.Fatalf("Commit(%v) with remaining %v: err = %v", pay, remBefore, err)
+			}
+			if err != nil && (l.Remaining() != remBefore || l.NumRounds() != roundsBefore) {
+				t.Fatalf("rejected Commit(%v) mutated the ledger", pay)
+			}
+			check("commit")
+		}
+		err = l.AddWaste(waste)
+		if valid := waste >= 0 && !math.IsNaN(waste) && !math.IsInf(waste, 0); valid != (err == nil) {
+			t.Fatalf("AddWaste(%v): err = %v", waste, err)
+		}
+		check("waste")
+	})
+}

@@ -6,6 +6,7 @@ package market
 
 import (
 	"fmt"
+	"math"
 
 	"chiron/internal/mat"
 )
@@ -154,8 +155,8 @@ type Ledger struct {
 
 // NewLedger opens a ledger with total budget η.
 func NewLedger(budget float64) (*Ledger, error) {
-	if budget <= 0 {
-		return nil, fmt.Errorf("market: budget %v, want > 0", budget)
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("market: budget %v, want finite > 0", budget)
 	}
 	return &Ledger{budget: budget, remaining: budget}, nil
 }
@@ -182,6 +183,12 @@ var ErrBudgetExhausted = fmt.Errorf("market: budget exhausted")
 // drive the budget negative the round is rejected with ErrBudgetExhausted
 // and the ledger state is unchanged, matching the paper's stopping rule.
 func (l *Ledger) Commit(r Round) error {
+	// A NaN payment would silently poison every later comparison (NaN
+	// fails both the < 0 and the > remaining check), so non-finite values
+	// are rejected before the sign test.
+	if math.IsNaN(r.Payment) || math.IsInf(r.Payment, 0) {
+		return fmt.Errorf("market: non-finite payment %v", r.Payment)
+	}
 	if r.Payment < 0 {
 		return fmt.Errorf("market: negative payment %v", r.Payment)
 	}
@@ -199,6 +206,9 @@ func (l *Ledger) Commit(r Round) error {
 // out. Waste counts toward TotalTime (and therefore the server utility)
 // but not toward the round history or time-efficiency statistics.
 func (l *Ledger) AddWaste(seconds float64) error {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return fmt.Errorf("market: non-finite waste %v", seconds)
+	}
 	if seconds < 0 {
 		return fmt.Errorf("market: negative waste %v", seconds)
 	}

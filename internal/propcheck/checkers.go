@@ -1,0 +1,325 @@
+package propcheck
+
+import (
+	"fmt"
+	"math"
+
+	"chiron/internal/device"
+	"chiron/internal/edgeenv"
+	"chiron/internal/market"
+	"chiron/internal/mechanism"
+)
+
+// approxEqual reports whether a and b agree to a relative tolerance of
+// eps, scaled by the larger magnitude (with an absolute floor of eps for
+// values near zero).
+func approxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= eps*scale
+}
+
+const (
+	// tolExact covers pure floating-point reassociation error in values
+	// the code computes with the same formula the checker uses.
+	tolExact = 1e-9
+	// tolLoose covers values that accumulate across many rounds.
+	tolLoose = 1e-7
+)
+
+// CheckBestResponse verifies a node's reaction to one posted price against
+// OP_{i,k}: the chosen frequency lies in the feasible box and is the
+// clipped maximizer of Eqn. (11); no ±δ perturbation of ζ inside the box
+// improves utility; the reported payment, time, energy, and utility are
+// internally consistent; and participation is individually rational — a
+// participating node clears its reserve μ_i, a declining node could not
+// have cleared it even at its optimum.
+func CheckBestResponse(n *device.Node, price float64) error {
+	resp := n.BestResponse(price)
+	if price <= 0 {
+		if resp.Participating {
+			return fmt.Errorf("node %d participates at non-positive price %v", n.ID, price)
+		}
+		return nil
+	}
+	interior := price / (2 * n.Capacitance * float64(n.Epochs) * n.CyclesPerBit * n.DataBits)
+	clipped := math.Min(math.Max(interior, n.FreqMin), n.FreqMax)
+	if !resp.Participating {
+		// IR of the decline branch: even the optimal frequency cannot
+		// reach the reserve.
+		if u := n.Utility(price, clipped); u >= n.Reserve+tolExact*math.Max(1, math.Abs(u)) {
+			return fmt.Errorf("node %d declined price %v but ζ*=%v yields utility %v ≥ reserve %v",
+				n.ID, price, clipped, u, n.Reserve)
+		}
+		return nil
+	}
+	if resp.Freq < n.FreqMin || resp.Freq > n.FreqMax {
+		return fmt.Errorf("node %d chose ζ=%v outside [%v,%v]", n.ID, resp.Freq, n.FreqMin, n.FreqMax)
+	}
+	if !approxEqual(resp.Freq, clipped, tolExact) {
+		return fmt.Errorf("node %d chose ζ=%v, Eqn. (11) clipped optimum is %v", n.ID, resp.Freq, clipped)
+	}
+	if !approxEqual(resp.Payment, price*resp.Freq, tolExact) {
+		return fmt.Errorf("node %d payment %v ≠ p·ζ = %v", n.ID, resp.Payment, price*resp.Freq)
+	}
+	if !approxEqual(resp.Time, n.RoundTime(resp.Freq), tolExact) {
+		return fmt.Errorf("node %d time %v ≠ T^cmp+T^com = %v", n.ID, resp.Time, n.RoundTime(resp.Freq))
+	}
+	if !approxEqual(resp.Utility, n.Utility(price, resp.Freq), tolExact) {
+		return fmt.Errorf("node %d utility %v ≠ p·ζ−E = %v", n.ID, resp.Utility, n.Utility(price, resp.Freq))
+	}
+	// Individual rationality: the realized utility clears the reserve.
+	if resp.Utility < n.Reserve-tolExact*math.Max(1, n.Reserve) {
+		return fmt.Errorf("node %d participates with utility %v below reserve %v", n.ID, resp.Utility, n.Reserve)
+	}
+	// ζ* optimality via ±δ perturbation at several scales: utility is
+	// strictly concave in ζ, so no feasible perturbation may win.
+	span := n.FreqMax - n.FreqMin
+	tol := tolExact * math.Max(1, math.Abs(resp.Utility))
+	for _, frac := range []float64{1e-4, 1e-2, 0.25} {
+		for _, sign := range []float64{-1, 1} {
+			alt := resp.Freq + sign*frac*span
+			alt = math.Min(math.Max(alt, n.FreqMin), n.FreqMax)
+			if u := n.Utility(price, alt); u > resp.Utility+tol {
+				return fmt.Errorf("node %d: perturbed ζ=%v beats ζ*=%v (%v > %v) at price %v",
+					n.ID, alt, resp.Freq, u, resp.Utility, price)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSimplex verifies an inner-agent allocation: non-negative entries
+// summing to 1 (the action space of Eqn. 13's a^I).
+func CheckSimplex(props []float64) error {
+	if len(props) == 0 {
+		return fmt.Errorf("empty allocation")
+	}
+	var sum float64
+	for i, p := range props {
+		if math.IsNaN(p) || p < -tolExact {
+			return fmt.Errorf("allocation[%d] = %v, want ≥ 0", i, p)
+		}
+		sum += p
+	}
+	if !approxEqual(sum, 1, tolLoose) {
+		return fmt.Errorf("allocation sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// CheckPriceDecomposition verifies Eqn. (13): every per-node price is the
+// exterior total times the inner allocation share, and the shares exhaust
+// the total.
+func CheckPriceDecomposition(total float64, props, prices []float64) error {
+	if len(props) != len(prices) {
+		return fmt.Errorf("%d shares for %d prices", len(props), len(prices))
+	}
+	if err := CheckSimplex(props); err != nil {
+		return err
+	}
+	var sum float64
+	for i := range prices {
+		if !approxEqual(prices[i], total*props[i], tolExact) {
+			return fmt.Errorf("price[%d] = %v ≠ a^E·a^I = %v", i, prices[i], total*props[i])
+		}
+		sum += prices[i]
+	}
+	if !approxEqual(sum, total, tolLoose) {
+		return fmt.Errorf("prices sum to %v, want total %v", sum, total)
+	}
+	return nil
+}
+
+// CheckRoundAccounting verifies one committed round record: participant
+// and completion counts match the per-node vectors, every joined node has
+// a positive frequency and time, and the payment equals
+// Σ p_i·ζ_i over completed nodes plus failurePayment·p_i·ζ_i over failed
+// ones — the failure-payment-exact accounting rule.
+func CheckRoundAccounting(r *market.Round, failurePayment float64) error {
+	n := len(r.Prices)
+	if len(r.Freqs) != n || len(r.Times) != n {
+		return fmt.Errorf("vector lengths differ: %d prices, %d freqs, %d times",
+			n, len(r.Freqs), len(r.Times))
+	}
+	if r.Outcomes != nil && len(r.Outcomes) != n {
+		return fmt.Errorf("%d outcomes for %d nodes", len(r.Outcomes), n)
+	}
+	var wantPayment float64
+	participants, completed := 0, 0
+	for i := 0; i < n; i++ {
+		joined := r.Freqs[i] > 0
+		outcome := market.OutcomeCompleted
+		if r.Outcomes != nil {
+			outcome = r.Outcomes[i]
+		}
+		if !joined {
+			if r.Outcomes != nil && outcome != market.OutcomeAbsent {
+				return fmt.Errorf("node %d has ζ=0 but outcome %v", i, outcome)
+			}
+			if r.Times[i] != 0 {
+				return fmt.Errorf("absent node %d has time %v", i, r.Times[i])
+			}
+			continue
+		}
+		participants++
+		if r.Times[i] <= 0 || math.IsNaN(r.Times[i]) || math.IsInf(r.Times[i], 0) {
+			return fmt.Errorf("joined node %d has time %v", i, r.Times[i])
+		}
+		pay := r.Prices[i] * r.Freqs[i]
+		switch {
+		case outcome == market.OutcomeCompleted:
+			completed++
+			wantPayment += pay
+		case outcome.Failed():
+			wantPayment += pay * failurePayment
+		default:
+			return fmt.Errorf("joined node %d has outcome %v", i, outcome)
+		}
+	}
+	if r.Participants != participants {
+		return fmt.Errorf("Participants = %d, vectors say %d", r.Participants, participants)
+	}
+	// Zero-valued Completed on a clean legacy record implies everyone
+	// completed; otherwise the count must match.
+	if r.Outcomes != nil && r.Completed != completed {
+		return fmt.Errorf("Completed = %d, outcomes say %d", r.Completed, completed)
+	}
+	if !approxEqual(r.Payment, wantPayment, tolLoose) {
+		return fmt.Errorf("payment %v ≠ price·contribution accounting %v (failure fraction %v)",
+			r.Payment, wantPayment, failurePayment)
+	}
+	return nil
+}
+
+// CheckTimeLaws verifies the timing laws on one round: the round time is
+// max_i T_{i,k}; idle time (the quantity Lemma 1's reward minimizes) is
+// non-negative and zero exactly when every node finishes together; and
+// Eqn. (16) time efficiency lies in [0,1], reaching 1 exactly at zero
+// idle time.
+func CheckTimeLaws(r *market.Round) error {
+	var maxT float64
+	for _, t := range r.Times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if got := r.RoundTime(); !approxEqual(got, maxT, tolExact) {
+		return fmt.Errorf("RoundTime %v ≠ max_i T_i = %v", got, maxT)
+	}
+	idle := r.IdleTime()
+	if idle < -tolLoose*math.Max(1, maxT) {
+		return fmt.Errorf("idle time %v negative", idle)
+	}
+	allEqual := true
+	for _, t := range r.Times {
+		if !approxEqual(t, maxT, tolExact) {
+			allEqual = false
+			break
+		}
+	}
+	scale := math.Max(1, maxT*float64(len(r.Times)))
+	if allEqual && math.Abs(idle) > tolLoose*scale {
+		return fmt.Errorf("all nodes finish at %v but idle time is %v", maxT, idle)
+	}
+	if !allEqual && len(r.Times) > 0 && idle <= 0 {
+		return fmt.Errorf("unequal finish times but idle time %v ≤ 0", idle)
+	}
+	eff := r.TimeEfficiency()
+	if eff < -tolExact || eff > 1+tolExact {
+		return fmt.Errorf("time efficiency %v outside [0,1]", eff)
+	}
+	if maxT > 0 {
+		if allEqual && !approxEqual(eff, 1, tolLoose) {
+			return fmt.Errorf("zero idle time but efficiency %v ≠ 1", eff)
+		}
+		if !allEqual && eff >= 1 {
+			return fmt.Errorf("positive idle time but efficiency %v ≥ 1", eff)
+		}
+	}
+	return nil
+}
+
+// CheckLedger verifies the budget feasibility of OP_PS on a ledger in any
+// state: spending never exceeds η, the remaining budget is exactly η minus
+// the recorded payments, round indices are sequential, and the aggregate
+// time metrics are consistent with the round records.
+func CheckLedger(l *market.Ledger) error {
+	budget := l.Budget()
+	if l.Remaining() < -tolExact*budget || l.Remaining() > budget*(1+tolExact) {
+		return fmt.Errorf("remaining %v outside [0, η=%v]", l.Remaining(), budget)
+	}
+	var spent, roundTime float64
+	for i := range l.Rounds() {
+		r := &l.Rounds()[i]
+		if r.Index != i+1 {
+			return fmt.Errorf("round %d has index %d", i, r.Index)
+		}
+		if r.Payment < 0 || math.IsNaN(r.Payment) {
+			return fmt.Errorf("round %d payment %v", i, r.Payment)
+		}
+		spent += r.Payment
+		roundTime += r.RoundTime()
+	}
+	if !approxEqual(l.TotalSpent(), spent, tolLoose) {
+		return fmt.Errorf("TotalSpent %v ≠ Σ payments %v", l.TotalSpent(), spent)
+	}
+	if !approxEqual(l.TotalSpent()+l.Remaining(), budget, tolLoose) {
+		return fmt.Errorf("spent %v + remaining %v ≠ η = %v", l.TotalSpent(), l.Remaining(), budget)
+	}
+	if spent > budget*(1+tolExact) {
+		return fmt.Errorf("ledger overspent: %v of η=%v", spent, budget)
+	}
+	if l.WastedTime() < 0 {
+		return fmt.Errorf("negative wasted time %v", l.WastedTime())
+	}
+	if !approxEqual(l.TotalTime(), roundTime+l.WastedTime(), tolLoose) {
+		return fmt.Errorf("TotalTime %v ≠ Σ T_k + waste = %v", l.TotalTime(), roundTime+l.WastedTime())
+	}
+	if eff := l.MeanTimeEfficiency(); eff < -tolExact || eff > 1+tolExact {
+		return fmt.Errorf("mean time efficiency %v outside [0,1]", eff)
+	}
+	return nil
+}
+
+// CheckEpisodeResult verifies an episode summary against the environment
+// ledger it was extracted from: round counts, budget accounting, time
+// metrics, and the Eqn. (9) server utility identity.
+func CheckEpisodeResult(env *edgeenv.Env, res mechanism.EpisodeResult) error {
+	l := env.Ledger()
+	if err := CheckLedger(l); err != nil {
+		return err
+	}
+	if res.Rounds != l.NumRounds() {
+		return fmt.Errorf("result rounds %d ≠ ledger rounds %d", res.Rounds, l.NumRounds())
+	}
+	if !approxEqual(res.BudgetSpent, l.TotalSpent(), tolLoose) {
+		return fmt.Errorf("result spent %v ≠ ledger spent %v", res.BudgetSpent, l.TotalSpent())
+	}
+	if res.BudgetSpent > l.Budget()*(1+tolExact) {
+		return fmt.Errorf("episode overspent η: %v of %v", res.BudgetSpent, l.Budget())
+	}
+	if !approxEqual(res.TotalTime, l.TotalTime(), tolLoose) {
+		return fmt.Errorf("result time %v ≠ ledger time %v", res.TotalTime, l.TotalTime())
+	}
+	if !approxEqual(res.FinalAccuracy, l.FinalAccuracy(), tolExact) {
+		return fmt.Errorf("result accuracy %v ≠ ledger accuracy %v", res.FinalAccuracy, l.FinalAccuracy())
+	}
+	if res.FinalAccuracy < 0 || res.FinalAccuracy > 1+tolExact {
+		return fmt.Errorf("final accuracy %v outside [0,1]", res.FinalAccuracy)
+	}
+	if !approxEqual(res.TimeEfficiency, l.MeanTimeEfficiency(), tolLoose) {
+		return fmt.Errorf("result efficiency %v ≠ ledger efficiency %v", res.TimeEfficiency, l.MeanTimeEfficiency())
+	}
+	cfg := env.Config()
+	wantUtility := cfg.Lambda*res.FinalAccuracy - cfg.TimeWeight*res.TotalTime
+	if !approxEqual(res.ServerUtility, wantUtility, tolLoose) {
+		return fmt.Errorf("server utility %v ≠ λA−wT = %v", res.ServerUtility, wantUtility)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package propcheck
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/market"
+)
+
+// TestLedgerNeverOverspendsProperty hammers a ledger with random commit,
+// waste, and reset sequences — including overdrafts, negative and
+// non-finite payments — and checks the OP_PS budget feasibility laws after
+// every operation: the ledger either absorbs a round exactly or rejects it
+// leaving no trace, and spending never exceeds η.
+func TestLedgerNeverOverspendsProperty(t *testing.T) {
+	Trials(t, 201, DefaultTrials, func(t *testing.T, rng *rand.Rand, trial int) {
+		budget := Uniform(rng, 1, 500)
+		l, err := market.NewLedger(budget)
+		if err != nil {
+			t.Fatalf("trial %d: NewLedger(%v): %v", trial, budget, err)
+		}
+		ops := 5 + rng.Intn(40)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0: // occasional reset back to a full budget
+				l.Reset()
+				if l.Remaining() != budget || l.NumRounds() != 0 || l.WastedTime() != 0 {
+					t.Fatalf("trial %d: Reset left remaining=%v rounds=%d waste=%v",
+						trial, l.Remaining(), l.NumRounds(), l.WastedTime())
+				}
+			case 1: // waste, sometimes invalid
+				w := Uniform(rng, -2, 30)
+				if rng.Intn(8) == 0 {
+					w = math.NaN()
+				}
+				before := l.WastedTime()
+				err := l.AddWaste(w)
+				if w >= 0 && !math.IsNaN(w) {
+					if err != nil {
+						t.Fatalf("trial %d: AddWaste(%v): %v", trial, w, err)
+					}
+				} else if err == nil || l.WastedTime() != before {
+					t.Fatalf("trial %d: invalid waste %v accepted (err=%v)", trial, w, err)
+				}
+			default: // commit a round; payments range over valid and invalid
+				pay := Uniform(rng, -0.2, 0.6) * budget
+				switch rng.Intn(12) {
+				case 0:
+					pay = math.NaN()
+				case 1:
+					pay = math.Inf(1)
+				case 2:
+					pay = l.Remaining() * Uniform(rng, 1, 3) // deliberate overdraft
+				}
+				n := 1 + rng.Intn(5)
+				r := market.Round{
+					Prices:       make([]float64, n),
+					Freqs:        make([]float64, n),
+					Times:        make([]float64, n),
+					Payment:      pay,
+					Accuracy:     rng.Float64(),
+					Participants: n,
+				}
+				for i := 0; i < n; i++ {
+					r.Times[i] = Uniform(rng, 0.1, 50)
+				}
+				remBefore, roundsBefore := l.Remaining(), l.NumRounds()
+				err := l.Commit(r)
+				valid := !math.IsNaN(pay) && !math.IsInf(pay, 0) && pay >= 0 && pay <= remBefore
+				if valid {
+					if err != nil {
+						t.Fatalf("trial %d: Commit(payment=%v, remaining=%v): %v", trial, pay, remBefore, err)
+					}
+					if got := l.Remaining(); !approxEqual(got, remBefore-pay, tolExact) {
+						t.Fatalf("trial %d: remaining %v after paying %v from %v", trial, got, pay, remBefore)
+					}
+				} else {
+					if err == nil {
+						t.Fatalf("trial %d: Commit accepted invalid payment %v (remaining %v)", trial, pay, remBefore)
+					}
+					if pay > remBefore && pay >= 0 && !math.IsNaN(pay) && !math.IsInf(pay, 0) &&
+						!errors.Is(err, market.ErrBudgetExhausted) {
+						t.Fatalf("trial %d: overdraft error %v, want ErrBudgetExhausted", trial, err)
+					}
+					if l.Remaining() != remBefore || l.NumRounds() != roundsBefore {
+						t.Fatalf("trial %d: rejected commit mutated ledger", trial)
+					}
+				}
+			}
+			if err := CheckLedger(l); err != nil {
+				t.Fatalf("trial %d after op %d: %v", trial, op, err)
+			}
+		}
+	})
+}
+
+// TestRoundTimeLawsProperty checks T_k = max_i T_{i,k}, the Lemma 1
+// idle-time sign, and the Eqn. (16) efficiency range on random per-node
+// time vectors, including all-idle and single-participant shapes.
+func TestRoundTimeLawsProperty(t *testing.T) {
+	Trials(t, 202, DefaultTrials, func(t *testing.T, rng *rand.Rand, trial int) {
+		n := 1 + rng.Intn(8)
+		r := market.Round{Times: make([]float64, n)}
+		for i := range r.Times {
+			switch rng.Intn(3) {
+			case 0: // declined
+			case 1: // shared plateau — exercises the all-equal branch
+				r.Times[i] = 10
+			default:
+				r.Times[i] = Uniform(rng, 0.01, 100)
+			}
+			if r.Times[i] > 0 {
+				r.Participants++
+			}
+		}
+		if err := CheckTimeLaws(&r); err != nil {
+			t.Fatalf("trial %d, times %v: %v", trial, r.Times, err)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package propcheck
+
+import (
+	"math"
+	"testing"
+
+	"chiron/internal/market"
+)
+
+// The checkers are the harness's trusted base, so they get their own
+// negative tests: each law must reject a record that violates it.
+
+func TestCheckSimplexRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		props []float64
+	}{
+		{"empty", nil},
+		{"negative entry", []float64{-0.1, 1.1}},
+		{"sum above one", []float64{0.6, 0.6}},
+		{"sum below one", []float64{0.2, 0.2}},
+		{"nan entry", []float64{math.NaN(), 1}},
+	}
+	for _, tc := range cases {
+		if err := CheckSimplex(tc.props); err == nil {
+			t.Errorf("%s: CheckSimplex accepted %v", tc.name, tc.props)
+		}
+	}
+	if err := CheckSimplex([]float64{0.25, 0.25, 0.5}); err != nil {
+		t.Errorf("valid allocation rejected: %v", err)
+	}
+}
+
+func TestCheckPriceDecompositionRejectsViolations(t *testing.T) {
+	props := []float64{0.5, 0.5}
+	if err := CheckPriceDecomposition(10, props, []float64{5, 4}); err == nil {
+		t.Error("accepted price ≠ total·share")
+	}
+	if err := CheckPriceDecomposition(10, props, []float64{5}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if err := CheckPriceDecomposition(10, props, []float64{5, 5}); err != nil {
+		t.Errorf("valid decomposition rejected: %v", err)
+	}
+}
+
+func TestCheckRoundAccountingRejectsViolations(t *testing.T) {
+	valid := func() market.Round {
+		return market.Round{
+			Prices:       []float64{1, 2, 3},
+			Freqs:        []float64{4, 0, 5},
+			Times:        []float64{6, 0, 7},
+			Outcomes:     []market.Outcome{market.OutcomeCompleted, market.OutcomeAbsent, market.OutcomeCrashed},
+			Payment:      1*4 + 0.5*3*5,
+			Participants: 2,
+			Completed:    1,
+		}
+	}
+	if err := CheckRoundAccounting(&market.Round{}, 0); err != nil {
+		t.Errorf("empty round rejected: %v", err)
+	}
+	ok := valid()
+	if err := CheckRoundAccounting(&ok, 0.5); err != nil {
+		t.Fatalf("valid round rejected: %v", err)
+	}
+
+	wrongPay := valid()
+	wrongPay.Payment += 1
+	if err := CheckRoundAccounting(&wrongPay, 0.5); err == nil {
+		t.Error("accepted payment off the price·contribution rule")
+	}
+	wrongFrac := valid()
+	if err := CheckRoundAccounting(&wrongFrac, 0); err == nil {
+		t.Error("accepted a failure payment the fraction forbids")
+	}
+	wrongParts := valid()
+	wrongParts.Participants = 3
+	if err := CheckRoundAccounting(&wrongParts, 0.5); err == nil {
+		t.Error("accepted participant miscount")
+	}
+	wrongDone := valid()
+	wrongDone.Completed = 2
+	if err := CheckRoundAccounting(&wrongDone, 0.5); err == nil {
+		t.Error("accepted completion miscount")
+	}
+	absentTime := valid()
+	absentTime.Times[1] = 3
+	if err := CheckRoundAccounting(&absentTime, 0.5); err == nil {
+		t.Error("accepted a declined node with nonzero time")
+	}
+	absentJoin := valid()
+	absentJoin.Outcomes[0] = market.OutcomeAbsent
+	if err := CheckRoundAccounting(&absentJoin, 0.5); err == nil {
+		t.Error("accepted a joined node marked absent")
+	}
+	badTime := valid()
+	badTime.Times[0] = math.NaN()
+	if err := CheckRoundAccounting(&badTime, 0.5); err == nil {
+		t.Error("accepted NaN round time")
+	}
+}
+
+func TestCheckTimeLawsOnHandBuiltRounds(t *testing.T) {
+	uneven := market.Round{Times: []float64{2, 6, 0}, Participants: 2}
+	if err := CheckTimeLaws(&uneven); err != nil {
+		t.Errorf("uneven round rejected: %v", err)
+	}
+	perfect := market.Round{Times: []float64{5, 5}, Participants: 2}
+	if err := CheckTimeLaws(&perfect); err != nil {
+		t.Errorf("perfect round rejected: %v", err)
+	}
+	empty := market.Round{}
+	if err := CheckTimeLaws(&empty); err != nil {
+		t.Errorf("empty round rejected: %v", err)
+	}
+}
+
+func TestCheckLedgerAcceptsValidHistory(t *testing.T) {
+	l, err := market.NewLedger(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pay := range []float64{2, 3} {
+		r := market.Round{Payment: pay, Times: []float64{1, 2}, Participants: 2, Accuracy: 0.5}
+		if err := l.Commit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddWaste(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLedger(l); err != nil {
+		t.Errorf("valid ledger rejected: %v", err)
+	}
+}
+
+func TestApproxEqualTreatsNaNAsUnequal(t *testing.T) {
+	if approxEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN compared equal")
+	}
+	if approxEqual(1, math.NaN(), 1) {
+		t.Error("NaN compared equal to 1")
+	}
+	if !approxEqual(1e12, 1e12*(1+1e-12), tolExact) {
+		t.Error("relative tolerance not scaled by magnitude")
+	}
+}
+
+func TestTrialSeedsAreDistinct(t *testing.T) {
+	// Distinct (offset, trial) pairs in the ranges tests actually use must
+	// never replay the same RNG stream.
+	seen := make(map[int64][2]int64)
+	for offset := int64(100); offset < 600; offset += 100 {
+		for trial := 0; trial < DefaultTrials; trial++ {
+			s := trialSeed(offset, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both map to %d",
+					offset, trial, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{offset, int64(trial)}
+		}
+	}
+}
