@@ -164,10 +164,18 @@ func DescribeArtifact(a Artifact) string {
 	return experiment.Describe(a)
 }
 
-// RunArtifact executes one paper artifact at the given scale (1.0 = the
-// paper's full episode counts) and returns a rendered text report.
+// RunArtifact executes one paper artifact serially at the given scale
+// (1.0 = the paper's full episode counts) and returns a rendered text
+// report.
 func RunArtifact(a Artifact, scale float64) (string, error) {
 	return experiment.Run(a, scale)
+}
+
+// RunArtifactJobs is RunArtifact with a worker bound for the artifact's
+// grid of independent jobs (1 = serial, 0 = GOMAXPROCS). Reports are
+// byte-identical at any worker count.
+func RunArtifactJobs(a Artifact, scale float64, jobs int) (string, error) {
+	return experiment.RunJobs(a, scale, jobs)
 }
 
 // DefaultFleetSpec returns the paper's Sec. VI-A device constants for n

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chiron-bench [-scale F] [-out DIR] [-only fig4,tab1]
+//	chiron-bench [-scale F] [-out DIR] [-only fig4,tab1] [-jobs N]
 package main
 
 import (
@@ -32,8 +32,12 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "episode-count scale factor in (0,1]")
 	out := fs.String("out", "results", "output directory for reports and CSV series")
 	only := fs.String("only", "", "comma-separated artifact ids to run (default: all)")
+	jobs := fs.Int("jobs", 1, "concurrent experiment jobs (0 = GOMAXPROCS); output is identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("jobs %d must be >= 0 (0 = GOMAXPROCS)", *jobs)
 	}
 
 	ids := chiron.Artifacts()
@@ -51,7 +55,7 @@ func run(args []string) error {
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("=== %s: %s (scale %.2f)\n", id, chiron.DescribeArtifact(id), *scale)
-		report, err := runArtifact(id, *scale, *out)
+		report, err := runArtifact(id, *scale, *jobs, *out)
 		if err != nil {
 			return fmt.Errorf("artifact %s: %w", id, err)
 		}
@@ -68,14 +72,15 @@ func run(args []string) error {
 	return nil
 }
 
-// runArtifact executes one artifact, writes its CSV series, and returns
-// the rendered text report.
-func runArtifact(id chiron.Artifact, scale float64, outDir string) (string, error) {
+// runArtifact executes one artifact with the given job-plan worker bound,
+// writes its CSV series, and returns the rendered text report.
+func runArtifact(id chiron.Artifact, scale float64, jobs int, outDir string) (string, error) {
 	if experiment.IsComparison(id) {
 		params, err := experiment.ComparisonDefaults(id)
 		if err != nil {
 			return "", err
 		}
+		params.Jobs = jobs
 		cmp, err := experiment.RunComparison(params.Scale(scale))
 		if err != nil {
 			return "", err
@@ -91,6 +96,7 @@ func runArtifact(id chiron.Artifact, scale float64, outDir string) (string, erro
 	if err != nil {
 		return "", err
 	}
+	params.Jobs = jobs
 	conv, err := experiment.RunConvergence(params.Scale(scale))
 	if err != nil {
 		return "", err

@@ -6,7 +6,7 @@
 //
 //	chiron train   [-nodes N] [-budget η] [-dataset mnist|fashion|cifar]
 //	               [-episodes E] [-seed S] [-real] [-baseline chiron|drl|greedy]
-//	chiron run     [-artifact fig3|fig4|fig5|fig6|fig7a|fig7b|tab1] [-scale F]
+//	chiron run     [-artifact fig3|fig4|fig5|fig6|fig7a|fig7b|tab1] [-scale F] [-jobs N]
 //	chiron list
 package main
 
@@ -141,17 +141,14 @@ func cmdTrain(args []string) error {
 			}
 		}
 	}
-	type trainer interface {
-		Train(episodes int, cb func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error)
-	}
-	tr, ok := m.(trainer)
+	tr, ok := m.(mechanism.Trainable)
 	if !ok {
 		return fmt.Errorf("mechanism %s is not trainable", m.Name())
 	}
 	if _, err := tr.Train(*episodes, callback); err != nil {
 		return err
 	}
-	res, err := core.EvaluateMechanism(m, *evalEpisodes)
+	res, err := mechanism.Evaluate(m, *evalEpisodes)
 	if err != nil {
 		return err
 	}
@@ -178,8 +175,12 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	artifact := fs.String("artifact", "", "paper artifact id (fig3, fig4, fig5, fig6, fig7a, fig7b, tab1) or 'all'")
 	scale := fs.Float64("scale", 1.0, "episode-count scale factor in (0,1]; 1.0 reproduces the paper's full runs")
+	jobs := fs.Int("jobs", 1, "concurrent experiment jobs (0 = GOMAXPROCS); reports are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("jobs %d must be >= 0 (0 = GOMAXPROCS)", *jobs)
 	}
 	if *artifact == "" {
 		return fmt.Errorf("-artifact is required (use 'chiron list' to see ids)")
@@ -189,7 +190,7 @@ func cmdRun(args []string) error {
 		ids = chiron.Artifacts()
 	}
 	for _, id := range ids {
-		report, err := chiron.RunArtifact(id, *scale)
+		report, err := chiron.RunArtifactJobs(id, *scale, *jobs)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,122 @@
+// Command sweepbench measures the experiment scheduler's wall-clock
+// speedup on the fig4 comparison grid (3 mechanisms × 5 budgets) by
+// running the same sweep serially and at -jobs N, asserts the two runs
+// produce byte-identical CSV output, and writes the timings as JSON.
+//
+// Usage:
+//
+//	sweepbench [-scale F] [-jobs N] [-out BENCH_sweep.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"chiron/internal/experiment"
+)
+
+type report struct {
+	Artifact        string  `json:"artifact"`
+	GridCells       int     `json:"grid_cells"`
+	Scale           float64 `json:"scale"`
+	TrainEpisodes   int     `json:"train_episodes_per_cell"`
+	CPUs            int     `json:"cpus"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Jobs            int     `json:"jobs"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	IdenticalOutput bool    `json:"identical_output"`
+	Note            string  `json:"note,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweepbench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.02, "episode-count scale factor in (0,1] for the fig4 grid")
+	jobs := fs.Int("jobs", 4, "parallel worker bound to compare against serial execution")
+	out := fs.String("out", "BENCH_sweep.json", "output path for the JSON report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs < 2 {
+		return fmt.Errorf("jobs %d must be >= 2 (comparing against serial is the point)", *jobs)
+	}
+
+	params, err := experiment.ComparisonDefaults(experiment.Fig4)
+	if err != nil {
+		return err
+	}
+	params = params.Scale(*scale)
+	cells := len(params.Budgets) * len(params.Mechanisms)
+	fmt.Printf("fig4 grid: %d cells, %d train episodes each (scale %.3f), %d CPUs\n",
+		cells, params.TrainEpisodes, *scale, runtime.NumCPU())
+
+	serialCSV, serialSec, err := timeRun(params, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serial   (-jobs=1): %.2fs\n", serialSec)
+	parallelCSV, parallelSec, err := timeRun(params, *jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parallel (-jobs=%d): %.2fs  (%.2fx)\n", *jobs, parallelSec, serialSec/parallelSec)
+	if serialCSV != parallelCSV {
+		return fmt.Errorf("CSV output diverged between -jobs=1 and -jobs=%d; the scheduler broke its determinism contract", *jobs)
+	}
+
+	r := report{
+		Artifact:        string(experiment.Fig4),
+		GridCells:       cells,
+		Scale:           *scale,
+		TrainEpisodes:   params.TrainEpisodes,
+		CPUs:            runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Jobs:            *jobs,
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parallelSec,
+		Speedup:         serialSec / parallelSec,
+		IdenticalOutput: true,
+	}
+	if runtime.NumCPU() == 1 {
+		r.Note = "single-CPU host: jobs serialize, so no speedup is possible here; CI regenerates this report on a multi-core runner"
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}
+
+// timeRun executes the sweep with the given worker bound and returns the
+// rendered CSV plus the wall-clock seconds of the sweep itself.
+func timeRun(p experiment.ComparisonParams, jobs int) (string, float64, error) {
+	p.Jobs = jobs
+	start := time.Now()
+	cmp, err := experiment.RunComparison(p)
+	if err != nil {
+		return "", 0, fmt.Errorf("jobs=%d: %w", jobs, err)
+	}
+	elapsed := time.Since(start).Seconds()
+	var b strings.Builder
+	if err := experiment.WriteComparisonCSV(&b, cmp); err != nil {
+		return "", 0, err
+	}
+	return b.String(), elapsed, nil
+}

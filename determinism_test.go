@@ -8,6 +8,7 @@ package chiron_test
 // pin that contract at the federated-training, PPO, and full-system levels.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -17,7 +18,9 @@ import (
 	"testing"
 
 	"chiron"
+	"chiron/internal/accuracy"
 	"chiron/internal/dataset"
+	"chiron/internal/experiment"
 	"chiron/internal/fl"
 	"chiron/internal/mat"
 	"chiron/internal/nn"
@@ -188,5 +191,69 @@ func TestSystemTrainDeterministicAcrossWorkers(t *testing.T) {
 	base := systemFingerprint(t, 1)
 	if got := systemFingerprint(t, 4); got != base {
 		t.Fatalf("system training diverged between workers=1 and workers=4:\n%s\nvs\n%s", base, got)
+	}
+}
+
+// comparisonCSV runs a small fig4-shaped sweep with the given job-scheduler
+// worker bound and returns the rendered CSV bytes.
+func comparisonCSV(t *testing.T, jobs int) string {
+	t.Helper()
+	cmp, err := experiment.RunComparison(experiment.ComparisonParams{
+		Preset: accuracy.PresetMNIST, Nodes: 3,
+		Budgets:       []float64{60, 120},
+		Mechanisms:    []experiment.MechanismKind{experiment.KindChiron, experiment.KindGreedy},
+		TrainEpisodes: 1, EvalEpisodes: 1, Seed: 11,
+		Jobs: jobs,
+	})
+	if err != nil {
+		t.Fatalf("RunComparison(jobs=%d): %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	if err := experiment.WriteComparisonCSV(&buf, cmp); err != nil {
+		t.Fatalf("WriteComparisonCSV: %v", err)
+	}
+	return buf.String()
+}
+
+// convergenceCSV runs a small fig3-shaped learning-curve job with the given
+// worker bound and returns the rendered CSV bytes.
+func convergenceCSV(t *testing.T, jobs int) string {
+	t.Helper()
+	conv, err := experiment.RunConvergence(experiment.ConvergenceParams{
+		Preset: accuracy.PresetMNIST, Nodes: 3, Budget: 120,
+		Mechanism: experiment.KindChiron, Episodes: 2, Window: 2, Seed: 11,
+		Jobs: jobs,
+	})
+	if err != nil {
+		t.Fatalf("RunConvergence(jobs=%d): %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	if err := experiment.WriteConvergenceCSV(&buf, conv); err != nil {
+		t.Fatalf("WriteConvergenceCSV: %v", err)
+	}
+	return buf.String()
+}
+
+// TestComparisonDeterministicAcrossJobs pins the experiment scheduler's
+// contract: a sweep run serially and at -jobs=8 must produce byte-identical
+// CSV output, because jobs are fully independent (each owns every RNG it
+// touches) and results land in index-addressed slots.
+func TestComparisonDeterministicAcrossJobs(t *testing.T) {
+	base := comparisonCSV(t, 1)
+	if got := comparisonCSV(t, 8); got != base {
+		t.Fatalf("comparison CSV diverged between jobs=1 and jobs=8:\n%s\nvs\n%s", base, got)
+	}
+	// jobs=0 delegates to GOMAXPROCS; vary it to cover that path too.
+	prev := runtime.GOMAXPROCS(3)
+	defer runtime.GOMAXPROCS(prev)
+	if got := comparisonCSV(t, 0); got != base {
+		t.Fatalf("comparison CSV diverged between jobs=1 and GOMAXPROCS=3:\n%s\nvs\n%s", base, got)
+	}
+}
+
+func TestConvergenceDeterministicAcrossJobs(t *testing.T) {
+	base := convergenceCSV(t, 1)
+	if got := convergenceCSV(t, 8); got != base {
+		t.Fatalf("convergence CSV diverged between jobs=1 and jobs=8:\n%s\nvs\n%s", base, got)
 	}
 }

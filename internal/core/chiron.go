@@ -417,38 +417,11 @@ func (c *Chiron) Evaluate(episodes int) (mechanism.EpisodeResult, error) {
 }
 
 // EvaluateMechanism averages deterministic episodes for any mechanism.
+//
+// Deprecated: it delegates to mechanism.Evaluate, the consolidated
+// train/evaluate path; call that directly in new code.
 func EvaluateMechanism(m mechanism.Mechanism, episodes int) (mechanism.EpisodeResult, error) {
-	if episodes <= 0 {
-		return mechanism.EpisodeResult{}, fmt.Errorf("core: evaluate %d episodes, want > 0", episodes)
-	}
-	var agg mechanism.EpisodeResult
-	for ep := 0; ep < episodes; ep++ {
-		res, err := m.RunEpisode(false)
-		if err != nil {
-			return mechanism.EpisodeResult{}, fmt.Errorf("core: eval episode %d: %w", ep+1, err)
-		}
-		agg.Rounds += res.Rounds
-		agg.FinalAccuracy += res.FinalAccuracy
-		agg.ExteriorReturn += res.ExteriorReturn
-		agg.DiscountedReturn += res.DiscountedReturn
-		agg.InnerReturn += res.InnerReturn
-		agg.TimeEfficiency += res.TimeEfficiency
-		agg.TotalTime += res.TotalTime
-		agg.BudgetSpent += res.BudgetSpent
-		agg.ServerUtility += res.ServerUtility
-	}
-	inv := 1 / float64(episodes)
-	agg.Episode = episodes
-	agg.Rounds = int(float64(agg.Rounds)*inv + 0.5)
-	agg.FinalAccuracy *= inv
-	agg.ExteriorReturn *= inv
-	agg.DiscountedReturn *= inv
-	agg.InnerReturn *= inv
-	agg.TimeEfficiency *= inv
-	agg.TotalTime *= inv
-	agg.BudgetSpent *= inv
-	agg.ServerUtility *= inv
-	return agg, nil
+	return mechanism.Evaluate(m, episodes)
 }
 
 // PriceVector reproduces the deterministic pricing decision for the current

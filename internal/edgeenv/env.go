@@ -27,6 +27,7 @@ import (
 	"chiron/internal/faults"
 	"chiron/internal/market"
 	"chiron/internal/mat"
+	"chiron/internal/round"
 )
 
 // Config parameterizes the environment.
@@ -178,6 +179,7 @@ type StepResult struct {
 type Env struct {
 	cfg       Config
 	ledger    *market.Ledger
+	pipe      *round.Pipeline
 	freqNorm  float64 // max ζ_max across fleet, for state normalization
 	priceNorm float64 // per-node price driving the fastest node flat out
 	timeNorm  float64 // slowest conceivable round time
@@ -208,8 +210,41 @@ func New(cfg Config) (*Env, error) {
 			e.timeNorm = t
 		}
 	}
+	// Resolve the config's zero-value defaults before handing the round
+	// economics to the stage pipeline.
+	minQuorum := cfg.MinQuorum
+	if minQuorum <= 0 {
+		minQuorum = 1
+	}
+	emptyTimeout := cfg.EmptyRoundTimeout
+	if emptyTimeout == 0 {
+		emptyTimeout = e.timeNorm
+	}
+	e.pipe, err = round.New(round.Config{
+		Nodes:          cfg.Nodes,
+		Availability:   cfg.Availability,
+		CommJitter:     cfg.CommJitter,
+		Rng:            cfg.Rng,
+		Faults:         cfg.Faults,
+		Deadline:       cfg.RoundDeadline,
+		MaxRetries:     cfg.MaxRetries,
+		RetryBackoff:   cfg.RetryBackoff,
+		FailurePayment: cfg.FailurePayment,
+		EmptyTimeout:   emptyTimeout,
+		MinQuorum:      minQuorum,
+		Accuracy:       cfg.Accuracy,
+		Ledger:         ledger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("edgeenv: %w", err)
+	}
 	return e, nil
 }
+
+// Pipeline exposes the staged round chain the environment drives — useful
+// for stage-level inspection and tests. Callers must not run it
+// concurrently with Step.
+func (e *Env) Pipeline() *round.Pipeline { return e.pipe }
 
 // NumNodes returns the fleet size N.
 func (e *Env) NumNodes() int { return len(e.cfg.Nodes) }
@@ -290,177 +325,70 @@ func (e *Env) ExteriorState() []float64 {
 	return state
 }
 
-// Step plays one round with the given per-node price vector. It returns
-// the rewards and whether the episode terminated. Stepping a finished
-// episode is an error; call Reset first.
+// Step plays one round with the given per-node price vector by driving the
+// staged pipeline (internal/round: Offer → Respond → Execute → Settle →
+// Commit) and wrapping its terminal status in MDP semantics — rewards,
+// episode termination, and the MaxRounds truncation cap. It returns the
+// rewards and whether the episode terminated. Stepping a finished episode
+// is an error; call Reset first.
 //
 // With a fault schedule configured, each recruited node passes through the
-// failure pipeline: a Crash silences it (the server waits out the deadline,
-// or the node's nominal finish time when no deadline is set), a Straggle
-// multiplies its round time, a Drop costs retry churn and abandons the node
-// once MaxRetries is exhausted, and a Corrupt upload is rejected at
-// sanitization. Any node still running at RoundDeadline is cut, so the
-// round time is min(deadline, max_i T_{i,k}). Failed nodes earn
-// FailurePayment·payment (0 by default); the budget pre-check uses the full
-// contracted payment so the ledger can never overdraw even if every node
-// completes.
+// Execute stage's failure pipeline: a Crash silences it (the server waits
+// out the deadline, or the node's nominal finish time when no deadline is
+// set), a Straggle multiplies its round time, a Drop costs retry churn and
+// abandons the node once MaxRetries is exhausted, and a Corrupt upload is
+// rejected at sanitization. Any node still running at RoundDeadline is cut,
+// so the round time is min(deadline, max_i T_{i,k}). Failed nodes earn
+// FailurePayment·payment (0 by default); the Settle stage's budget
+// pre-check uses the full contracted payment so the ledger can never
+// overdraw even if every node completes.
 func (e *Env) Step(prices []float64) (StepResult, error) {
 	if e.done {
 		return StepResult{}, fmt.Errorf("edgeenv: step on finished episode")
 	}
-	if len(prices) != len(e.cfg.Nodes) {
-		return StepResult{}, fmt.Errorf("edgeenv: %d prices for %d nodes", len(prices), len(e.cfg.Nodes))
-	}
 	n := len(e.cfg.Nodes)
-	round := market.Round{
-		Prices:   mat.CloneVec(prices),
-		Freqs:    make([]float64, n),
-		Times:    make([]float64, n),
-		Outcomes: make([]market.Outcome, n),
+	st := round.NewState(e.round, prices, e.lastAcc, n)
+	if err := e.pipe.Run(st); err != nil {
+		return StepResult{}, fmt.Errorf("edgeenv: %w", err)
 	}
-	deadline := e.cfg.RoundDeadline
-	var completed []int
-	var contracted float64 // worst-case payment if every joiner completes
-	for i, node := range e.cfg.Nodes {
-		if e.cfg.Availability > 0 && e.cfg.Availability < 1 && e.cfg.Rng.Float64() >= e.cfg.Availability {
-			continue // node offline this round
-		}
-		commTime := node.CommTime
-		if e.cfg.CommJitter > 0 {
-			commTime *= 1 + (e.cfg.Rng.Float64()*2-1)*e.cfg.CommJitter
-		}
-		resp := node.BestResponseWithComm(prices[i], commTime)
-		if !resp.Participating {
-			continue
-		}
-		round.Participants++
-		round.Freqs[i] = resp.Freq
-		contracted += resp.Payment
-		t := resp.Time
-		outcome := market.OutcomeCompleted
-		if e.cfg.Faults != nil {
-			if f, ok := e.cfg.Faults.At(e.round, i); ok {
-				switch f.Kind {
-				case faults.Crash:
-					outcome = market.OutcomeCrashed
-					// A crashed node goes silent: the server learns of the
-					// failure only by waiting — until the deadline when one
-					// is set, else until the node's expected finish time.
-					if deadline > 0 {
-						t = deadline
-					}
-				case faults.Straggle:
-					if f.Slowdown > 1 {
-						t *= f.Slowdown
-					}
-				case faults.Drop:
-					// Each lost upload costs a re-upload plus backoff; the
-					// node is abandoned once the retry budget runs out.
-					retries := f.Attempts
-					if retries > e.cfg.MaxRetries {
-						retries = e.cfg.MaxRetries
-						outcome = market.OutcomeDropped
-					}
-					t += float64(retries) * (commTime + e.cfg.RetryBackoff)
-					if outcome == market.OutcomeDropped {
-						// The final, abandoned attempt still burned its
-						// upload time before the server gave up.
-						t += commTime
-					}
-				case faults.Corrupt:
-					// The upload lands on time but fails sanitization.
-					outcome = market.OutcomeCorrupted
-				}
-			}
-		}
-		if deadline > 0 && t > deadline {
-			t = deadline
-			if outcome == market.OutcomeCompleted {
-				outcome = market.OutcomeDeadlineCut
-			}
-		}
-		round.Times[i] = t
-		round.Outcomes[i] = outcome
-		if outcome == market.OutcomeCompleted {
-			round.Payment += resp.Payment
-			completed = append(completed, i)
-		} else {
-			round.Payment += resp.Payment * e.cfg.FailurePayment
-		}
-	}
-	round.Completed = len(completed)
-
-	// An offer that attracts no participants trains nothing but still
-	// costs the server a full offer timeout of wall-clock time before it
-	// can repost — otherwise "price everyone out" would be a free skip a
-	// degenerate policy could idle on. The failed offer is not a training
-	// round: it is charged as waste, both rewards carry the timeout
-	// penalty, and the episode continues (only MaxRounds bounds it).
-	if round.Participants == 0 {
-		timeout := e.cfg.EmptyRoundTimeout
-		if timeout == 0 {
-			timeout = e.timeNorm
-		}
-		if err := e.ledger.AddWaste(timeout); err != nil {
-			return StepResult{}, fmt.Errorf("edgeenv: empty round: %w", err)
-		}
+	switch st.Status {
+	case round.StatusEmpty:
+		// The failed offer is not a training round: Settle charged it as
+		// waste, both rewards carry the timeout penalty, and the episode
+		// continues (only MaxRounds bounds it).
+		timeout := e.pipe.Settle.EmptyTimeout
 		res := StepResult{
 			ExteriorReward: -e.cfg.TimeWeight * timeout,
 			InnerReward:    -float64(n) * timeout,
 		}
-		e.round++
-		if e.round > e.cfg.MaxRounds {
-			res.Done = true
-			res.Truncated = true
-			e.done = true
-		}
+		e.advanceRound(&res)
 		return res, nil
-	}
-
-	// Budget check happens before any training: an overrunning round is
-	// discarded wholesale and the episode ends (Sec. V-A). The check uses
-	// the full contracted payment — what the server owes if every joiner
-	// completes — so the commitment is affordable in the worst case; the
-	// actual payment (failures refunded) can only be smaller.
-	if contracted > e.ledger.Remaining() {
+	case round.StatusBudgetExhausted:
+		// The overrunning round is discarded wholesale and the episode
+		// ends (Sec. V-A).
 		e.done = true
 		return StepResult{Done: true}, nil
 	}
 
-	// A round below the completion quorum trains nothing: the global model
-	// (and accuracy) stays where it was, but the time was spent and any
-	// failure payments are still owed, so the round commits regardless.
-	acc := e.lastAcc
-	minQuorum := e.cfg.MinQuorum
-	if minQuorum <= 0 {
-		minQuorum = 1
-	}
-	if len(completed) >= minQuorum {
-		var err error
-		acc, err = e.cfg.Accuracy.Advance(completed)
-		if err != nil {
-			return StepResult{}, fmt.Errorf("edgeenv: advance accuracy: %w", err)
-		}
-	}
-	round.Accuracy = acc
-	if err := e.ledger.Commit(round); err != nil {
-		// Unreachable given the pre-check, but surface it rather than panic.
-		return StepResult{}, fmt.Errorf("edgeenv: commit: %w", err)
-	}
-
 	res := StepResult{
-		Round:          round,
-		ExteriorReward: e.cfg.Lambda*(acc-e.lastAcc) - e.cfg.TimeWeight*round.RoundTime(),
-		InnerReward:    -round.IdleTime(),
+		Round:          st.Record,
+		ExteriorReward: e.cfg.Lambda*(st.Record.Accuracy-e.lastAcc) - e.cfg.TimeWeight*st.Record.RoundTime(),
+		InnerReward:    -st.Record.IdleTime(),
 	}
-	e.lastAcc = acc
+	e.lastAcc = st.Record.Accuracy
+	e.advanceRound(&res)
+	return res, nil
+}
+
+// advanceRound moves to the next round index and applies the MaxRounds
+// truncation cap to the step result.
+func (e *Env) advanceRound(res *StepResult) {
 	e.round++
 	if e.round > e.cfg.MaxRounds {
 		res.Done = true
 		res.Truncated = true
 		e.done = true
 	}
-	return res, nil
 }
 
 // RandomPrices produces a feasible random per-node price vector whose total

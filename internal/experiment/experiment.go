@@ -108,12 +108,6 @@ func (k MechanismKind) String() string {
 	}
 }
 
-// trainable is the optional training interface shared by the learning
-// mechanisms.
-type trainable interface {
-	Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error)
-}
-
 // BuildMechanism constructs a mechanism of the given kind bound to env.
 func BuildMechanism(kind MechanismKind, env *edgeenv.Env, seed int64) (mechanism.Mechanism, error) {
 	switch kind {
@@ -139,15 +133,9 @@ func BuildMechanism(kind MechanismKind, env *edgeenv.Env, seed int64) (mechanism
 
 // TrainAndEvaluate trains a mechanism for trainEpisodes (no-op for the
 // static references) and then averages evalEpisodes deterministic episodes.
+//
+// Deprecated: it delegates to mechanism.TrainAndEvaluate, the consolidated
+// path every runner shares; call that directly in new code.
 func TrainAndEvaluate(m mechanism.Mechanism, trainEpisodes, evalEpisodes int) (mechanism.EpisodeResult, error) {
-	if t, ok := m.(trainable); ok && trainEpisodes > 0 {
-		if _, err := t.Train(trainEpisodes, nil); err != nil {
-			return mechanism.EpisodeResult{}, fmt.Errorf("experiment: train %s: %w", m.Name(), err)
-		}
-	}
-	res, err := core.EvaluateMechanism(m, evalEpisodes)
-	if err != nil {
-		return mechanism.EpisodeResult{}, fmt.Errorf("experiment: evaluate %s: %w", m.Name(), err)
-	}
-	return res, nil
+	return mechanism.TrainAndEvaluate(m, trainEpisodes, evalEpisodes)
 }

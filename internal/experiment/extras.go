@@ -12,6 +12,7 @@ import (
 	"chiron/internal/edgeenv"
 	"chiron/internal/faults"
 	"chiron/internal/fl"
+	"chiron/internal/mechanism"
 	"chiron/internal/nn"
 )
 
@@ -59,39 +60,43 @@ func DescribeExtra(a Artifact) string {
 	}
 }
 
-// RunExtra executes an ablation study at the given scale and returns a
-// rendered report.
+// RunExtra executes an ablation study serially at the given scale and
+// returns a rendered report.
 func RunExtra(a Artifact, scale float64) (string, error) {
+	return RunExtraJobs(a, scale, 1)
+}
+
+// RunExtraJobs is RunExtra with a worker bound for the study's job plan
+// (1 = serial, 0 = GOMAXPROCS). Reports are byte-identical at any setting.
+func RunExtraJobs(a Artifact, scale float64, jobs int) (string, error) {
 	if scale <= 0 || scale > 1 {
 		return "", fmt.Errorf("experiment: scale %v outside (0,1]", scale)
 	}
 	switch a {
 	case AblLambda:
-		return runLambdaAblation(scale)
+		return runLambdaAblation(scale, jobs)
 	case AblReward:
-		return runRewardAblation(scale)
+		return runRewardAblation(scale, jobs)
 	case AblRobust:
-		return runRobustnessAblation(scale)
+		return runRobustnessAblation(scale, jobs)
 	case AblNonIID:
-		return runNonIIDAblation(scale)
+		return runNonIIDAblation(scale, jobs)
 	case AblFaults:
-		return runFaultSweep(scale)
+		return runFaultSweep(scale, jobs)
 	default:
 		return "", fmt.Errorf("experiment: unknown ablation %q", a)
 	}
 }
 
-// trainChironOn builds and trains a Chiron agent on env for the scaled
-// number of episodes and returns its deterministic evaluation.
-func trainChironOn(env *edgeenv.Env, seed int64, scale float64, evalEpisodes int) (res evalResult, err error) {
+// chironEvalRow builds and trains a Chiron agent on env through the shared
+// mechanism.TrainAndEvaluate path and condenses its evaluation to one table
+// row.
+func chironEvalRow(env *edgeenv.Env, seed int64, scale float64, evalEpisodes int) (evalResult, error) {
 	ch, err := core.New(env, TunedChironConfig(seed))
 	if err != nil {
 		return evalResult{}, err
 	}
-	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
-		return evalResult{}, err
-	}
-	summary, err := ch.Evaluate(evalEpisodes)
+	summary, err := mechanism.TrainAndEvaluate(ch, scaleCount(500, scale), evalEpisodes)
 	if err != nil {
 		return evalResult{}, err
 	}
@@ -123,19 +128,29 @@ func renderRows(title string, header string, rows []string) string {
 
 // runLambdaAblation sweeps the preference coefficient λ: larger λ should
 // push the learned policy toward more rounds and higher final accuracy at
-// the cost of total time.
-func runLambdaAblation(scale float64) (string, error) {
+// the cost of total time. One job per λ.
+func runLambdaAblation(scale float64, jobs int) (string, error) {
 	lambdas := []float64{500, 2000, 8000}
-	rows := make([]string, 0, len(lambdas))
+	plan := Plan[evalResult]{Name: "abl-lambda", Workers: jobs}
 	for _, lambda := range lambdas {
-		env, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: 7, Lambda: lambda})
-		if err != nil {
-			return "", err
-		}
-		res, err := trainChironOn(env, 7, scale, 3)
-		if err != nil {
-			return "", fmt.Errorf("experiment: lambda %v: %w", lambda, err)
-		}
+		plan.Jobs = append(plan.Jobs, Job[evalResult]{
+			Label: fmt.Sprintf("Chiron λ=%v seed=7", lambda),
+			Run: func() (evalResult, error) {
+				env, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: 7, Lambda: lambda})
+				if err != nil {
+					return evalResult{}, err
+				}
+				return chironEvalRow(env, 7, scale, 3)
+			},
+		})
+	}
+	results, err := plan.Execute()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]string, 0, len(lambdas))
+	for i, lambda := range lambdas {
+		res := results[i]
 		rows = append(rows, fmt.Sprintf("%-8.0f %10.3f %8d %10.1f%% %12.1f",
 			lambda, res.Accuracy, res.Rounds, 100*res.TimeEfficiency, res.Utility))
 	}
@@ -147,7 +162,8 @@ func runLambdaAblation(scale float64) (string, error) {
 
 // runRewardAblation compares the exterior time weighting: the calibrated
 // Eqn. 9-consistent default, the raw w=1, and the literal Eqn. 14 (w=λ).
-func runRewardAblation(scale float64) (string, error) {
+// One job per weighting.
+func runRewardAblation(scale float64, jobs int) (string, error) {
 	weights := []struct {
 		name string
 		w    float64
@@ -156,16 +172,26 @@ func runRewardAblation(scale float64) (string, error) {
 		{"unit (1.0)", 1.0},
 		{"eqn14 literal (λ)", 2000},
 	}
-	rows := make([]string, 0, len(weights))
+	plan := Plan[evalResult]{Name: "abl-reward", Workers: jobs}
 	for _, tw := range weights {
-		env, err := buildEnvWithTimeWeight(7, 300, tw.w)
-		if err != nil {
-			return "", err
-		}
-		res, err := trainChironOn(env, 7, scale, 3)
-		if err != nil {
-			return "", fmt.Errorf("experiment: time weight %v: %w", tw.w, err)
-		}
+		plan.Jobs = append(plan.Jobs, Job[evalResult]{
+			Label: fmt.Sprintf("Chiron w=%v seed=7", tw.w),
+			Run: func() (evalResult, error) {
+				env, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: 7, TimeWeight: tw.w})
+				if err != nil {
+					return evalResult{}, err
+				}
+				return chironEvalRow(env, 7, scale, 3)
+			},
+		})
+	}
+	results, err := plan.Execute()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]string, 0, len(weights))
+	for i, tw := range weights {
+		res := results[i]
 		rows = append(rows, fmt.Sprintf("%-20s %10.3f %8d %10.1f%%",
 			tw.name, res.Accuracy, res.Rounds, 100*res.TimeEfficiency))
 	}
@@ -175,39 +201,48 @@ func runRewardAblation(scale float64) (string, error) {
 		rows), nil
 }
 
-func buildEnvWithTimeWeight(seed int64, budget, timeWeight float64) (*edgeenv.Env, error) {
-	rng := rand.New(rand.NewSource(seed))
-	nodes, err := device.NewFleet(rng, device.DefaultFleetSpec(5))
-	if err != nil {
-		return nil, err
-	}
-	acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
-	if err != nil {
-		return nil, err
-	}
-	cfg := edgeenv.DefaultConfig(nodes, acc, budget)
-	cfg.TimeWeight = timeWeight
-	return edgeenv.New(cfg)
-}
-
-// runRobustnessAblation trains once on the clean environment and evaluates
-// the frozen policy under increasing churn.
-func runRobustnessAblation(scale float64) (string, error) {
-	const seed = 7
+// trainFrozenChiron trains a Chiron agent on the clean 5-node η=300 MNIST
+// environment and returns its checkpoint plus the (read-only) fleet the
+// frozen-policy studies re-create their perturbed environments around.
+func trainFrozenChiron(seed int64, scale float64) (*core.Checkpoint, []*device.Node, error) {
 	clean, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: seed})
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
 	ch, err := core.New(clean, TunedChironConfig(seed))
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
 	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
-		return "", err
+		return nil, nil, err
 	}
-	ck := ch.Checkpoint()
-
 	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(5))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch.Checkpoint(), fleet, nil
+}
+
+// evalFrozenChiron restores ck into a fresh agent bound to env and runs the
+// deterministic evaluation — the shared tail of every frozen-policy job.
+func evalFrozenChiron(env *edgeenv.Env, ck *core.Checkpoint, seed int64) (mechanism.EpisodeResult, error) {
+	agent, err := core.New(env, TunedChironConfig(seed))
+	if err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	if err := agent.Restore(ck); err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	return mechanism.Evaluate(agent, 3)
+}
+
+// runRobustnessAblation trains once on the clean environment and evaluates
+// the frozen policy under increasing churn, one job per scenario. The
+// checkpoint and fleet are shared read-only across jobs; each job owns its
+// environment, churn RNG, and restored agent.
+func runRobustnessAblation(scale float64, jobs int) (string, error) {
+	const seed = 7
+	ck, fleet, err := trainFrozenChiron(seed, scale)
 	if err != nil {
 		return "", err
 	}
@@ -222,33 +257,36 @@ func runRobustnessAblation(scale float64) (string, error) {
 		{"availability 80%", 0, 0.80},
 		{"jitter 30% + avail 80%", 0.30, 0.80},
 	}
-	rows := make([]string, 0, len(scenarios))
+	plan := Plan[mechanism.EpisodeResult]{Name: "abl-robust", Workers: jobs}
 	for _, sc := range scenarios {
-		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
-		if err != nil {
-			return "", err
-		}
-		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
-		cfg.CommJitter = sc.jitter
-		cfg.Availability = sc.availability
-		if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
-			cfg.Rng = rand.New(rand.NewSource(seed + 2))
-		}
-		env, err := edgeenv.New(cfg)
-		if err != nil {
-			return "", err
-		}
-		agent, err := core.New(env, TunedChironConfig(seed))
-		if err != nil {
-			return "", err
-		}
-		if err := agent.Restore(ck); err != nil {
-			return "", err
-		}
-		res, err := agent.Evaluate(3)
-		if err != nil {
-			return "", err
-		}
+		plan.Jobs = append(plan.Jobs, Job[mechanism.EpisodeResult]{
+			Label: fmt.Sprintf("Chiron %s seed=%d", sc.name, seed),
+			Run: func() (mechanism.EpisodeResult, error) {
+				acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+				if err != nil {
+					return mechanism.EpisodeResult{}, err
+				}
+				cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+				cfg.CommJitter = sc.jitter
+				cfg.Availability = sc.availability
+				if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
+					cfg.Rng = rand.New(rand.NewSource(seed + 2))
+				}
+				env, err := edgeenv.New(cfg)
+				if err != nil {
+					return mechanism.EpisodeResult{}, err
+				}
+				return evalFrozenChiron(env, ck, seed)
+			},
+		})
+	}
+	results, err := plan.Execute()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]string, 0, len(scenarios))
+	for i, sc := range scenarios {
+		res := results[i]
 		rows = append(rows, fmt.Sprintf("%-26s %10.3f %8d %10.1f%%",
 			sc.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency))
 	}
@@ -275,23 +313,11 @@ func FleetDeadline(nodes []*device.Node) float64 {
 // runFaultSweep trains Chiron on the clean environment once, then
 // evaluates the frozen policy under escalating injected fault rates — the
 // degradation table for crash, straggler, upload-drop, and corruption
-// failures combined with a round deadline and zero failure payment.
-func runFaultSweep(scale float64) (string, error) {
+// failures combined with a round deadline and zero failure payment. One
+// job per fault level.
+func runFaultSweep(scale float64, jobs int) (string, error) {
 	const seed = 7
-	clean, err := BuildEnv(Setup{Preset: accuracy.PresetMNIST, Nodes: 5, Budget: 300, Seed: seed})
-	if err != nil {
-		return "", err
-	}
-	ch, err := core.New(clean, TunedChironConfig(seed))
-	if err != nil {
-		return "", err
-	}
-	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
-		return "", err
-	}
-	ck := ch.Checkpoint()
-
-	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(5))
+	ck, fleet, err := trainFrozenChiron(seed, scale)
 	if err != nil {
 		return "", err
 	}
@@ -306,46 +332,57 @@ func runFaultSweep(scale float64) (string, error) {
 		{"severe (6x)", base.Scale(6)},
 	}
 	deadline := FleetDeadline(fleet)
-	rows := make([]string, 0, len(levels))
+	type faultRow struct {
+		res      mechanism.EpisodeResult
+		failures int
+	}
+	plan := Plan[faultRow]{Name: "abl-faults", Workers: jobs}
 	for _, lv := range levels {
-		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
-		if err != nil {
-			return "", err
-		}
-		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
-		if lv.rates.Any() {
-			sampler, err := faults.NewSampler(lv.rates, seed+3)
-			if err != nil {
-				return "", err
-			}
-			cfg.Faults = sampler
-			cfg.RoundDeadline = deadline
-			cfg.MaxRetries = 2
-			cfg.RetryBackoff = 1
-		}
-		env, err := edgeenv.New(cfg)
-		if err != nil {
-			return "", err
-		}
-		agent, err := core.New(env, TunedChironConfig(seed))
-		if err != nil {
-			return "", err
-		}
-		if err := agent.Restore(ck); err != nil {
-			return "", err
-		}
-		res, err := agent.Evaluate(3)
-		if err != nil {
-			return "", err
-		}
-		// The ledger still holds the last evaluation episode, so its
-		// per-round outcomes give a representative failure count.
-		var failures int
-		for _, r := range env.Ledger().Rounds() {
-			failures += r.Failures()
-		}
+		plan.Jobs = append(plan.Jobs, Job[faultRow]{
+			Label: fmt.Sprintf("Chiron faults=%s seed=%d", lv.name, seed),
+			Run: func() (faultRow, error) {
+				acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+				if err != nil {
+					return faultRow{}, err
+				}
+				cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+				if lv.rates.Any() {
+					sampler, err := faults.NewSampler(lv.rates, seed+3)
+					if err != nil {
+						return faultRow{}, err
+					}
+					cfg.Faults = sampler
+					cfg.RoundDeadline = deadline
+					cfg.MaxRetries = 2
+					cfg.RetryBackoff = 1
+				}
+				env, err := edgeenv.New(cfg)
+				if err != nil {
+					return faultRow{}, err
+				}
+				res, err := evalFrozenChiron(env, ck, seed)
+				if err != nil {
+					return faultRow{}, err
+				}
+				// The ledger still holds the last evaluation episode, so its
+				// per-round outcomes give a representative failure count.
+				var failures int
+				for _, r := range env.Ledger().Rounds() {
+					failures += r.Failures()
+				}
+				return faultRow{res: res, failures: failures}, nil
+			},
+		})
+	}
+	results, err := plan.Execute()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]string, 0, len(levels))
+	for i, lv := range levels {
+		row := results[i]
 		rows = append(rows, fmt.Sprintf("%-16s %10.3f %8d %10.1f%% %10d",
-			lv.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, failures))
+			lv.name, row.res.FinalAccuracy, row.res.Rounds, 100*row.res.TimeEfficiency, row.failures))
 	}
 	return renderRows(
 		DescribeExtra(AblFaults),
@@ -355,8 +392,9 @@ func runFaultSweep(scale float64) (string, error) {
 
 // runNonIIDAblation runs real FedAvg training (no surrogate) with IID and
 // Dirichlet splits, reporting the measured accuracy after a fixed number
-// of federated rounds per split.
-func runNonIIDAblation(scale float64) (string, error) {
+// of federated rounds per split. One job per split, each owning its own
+// trainer and seeded dataset.
+func runNonIIDAblation(scale float64, jobs int) (string, error) {
 	rounds := scaleCount(30, scale)
 	splits := []struct {
 		name string
@@ -371,30 +409,43 @@ func runNonIIDAblation(scale float64) (string, error) {
 	spec.Noise = 0.9
 	spec.Overlap = 0.2
 	spec.Jitter = 2
-	rows := make([]string, 0, len(splits))
+	plan := Plan[float64]{Name: "abl-noniid", Workers: jobs}
 	for _, sp := range splits {
-		trainer, err := accuracy.NewRealTrainer(accuracy.RealTrainerConfig{
-			Spec:        spec,
-			Partitioner: sp.part,
-			Factory: func(rng *rand.Rand) (*nn.Network, error) {
-				return nn.NewClassifierMLP(rng, spec.Dim(), 32, spec.Classes)
+		plan.Jobs = append(plan.Jobs, Job[float64]{
+			Label: fmt.Sprintf("FedAvg %s seed=11", sp.name),
+			Run: func() (float64, error) {
+				trainer, err := accuracy.NewRealTrainer(accuracy.RealTrainerConfig{
+					Spec:        spec,
+					Partitioner: sp.part,
+					Factory: func(rng *rand.Rand) (*nn.Network, error) {
+						return nn.NewClassifierMLP(rng, spec.Dim(), 32, spec.Classes)
+					},
+					Train:        fl.DefaultConfig(),
+					NumNodes:     5,
+					TestFraction: 0.2,
+					Seed:         11,
+				})
+				if err != nil {
+					return 0, err
+				}
+				participants := []int{0, 1, 2, 3, 4}
+				var acc float64
+				for k := 0; k < rounds; k++ {
+					if acc, err = trainer.Advance(participants); err != nil {
+						return 0, err
+					}
+				}
+				return acc, nil
 			},
-			Train:        fl.DefaultConfig(),
-			NumNodes:     5,
-			TestFraction: 0.2,
-			Seed:         11,
 		})
-		if err != nil {
-			return "", err
-		}
-		participants := []int{0, 1, 2, 3, 4}
-		var acc float64
-		for k := 0; k < rounds; k++ {
-			if acc, err = trainer.Advance(participants); err != nil {
-				return "", err
-			}
-		}
-		rows = append(rows, fmt.Sprintf("%-18s %10.3f", sp.name, acc))
+	}
+	results, err := plan.Execute()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]string, 0, len(splits))
+	for i, sp := range splits {
+		rows = append(rows, fmt.Sprintf("%-18s %10.3f", sp.name, results[i]))
 	}
 	return renderRows(
 		fmt.Sprintf("%s (%d real FedAvg rounds each)", DescribeExtra(AblNonIID), rounds),

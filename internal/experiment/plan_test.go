@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPlanExecuteOrdersResults checks that results land in job order at
+// every worker count, including workers exceeding the job count.
+func TestPlanExecuteOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		plan := Plan[int]{Name: "order", Workers: workers}
+		for i := 0; i < 20; i++ {
+			plan.Jobs = append(plan.Jobs, Job[int]{
+				Label: fmt.Sprintf("job-%d", i),
+				Run:   func() (int, error) { return i * i, nil },
+			})
+		}
+		results, err := plan.Execute()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// TestPlanExecuteAttributesErrors checks the scheduler reports the
+// lowest-indexed failing job — deterministically, regardless of which
+// worker hit it first — and wraps it with the plan name and the job's
+// label (mechanism kind, grid point, seed).
+func TestPlanExecuteAttributesErrors(t *testing.T) {
+	sentinel := errors.New("cell exploded")
+	var ran atomic.Int64
+	plan := Plan[int]{Name: "sweep", Workers: 4}
+	for i := 0; i < 10; i++ {
+		fail := i == 3 || i == 7
+		plan.Jobs = append(plan.Jobs, Job[int]{
+			Label: fmt.Sprintf("Chiron η=%d seed=11", 100*i),
+			Run: func() (int, error) {
+				ran.Add(1)
+				if fail {
+					return 0, sentinel
+				}
+				return i, nil
+			},
+		})
+	}
+	_, err := plan.Execute()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Execute error %v does not wrap the job error", err)
+	}
+	want := "experiment: sweep job 3 (Chiron η=300 seed=11)"
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not attribute the first failing cell %q", err, want)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("%d jobs ran, want all 10 (jobs are independent; one failure must not starve the rest)", got)
+	}
+}
+
+func TestPlanExecuteEmpty(t *testing.T) {
+	results, err := Plan[string]{Name: "empty"}.Execute()
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty plan: results=%v err=%v", results, err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	for _, tc := range []struct{ workers, jobs, want int }{
+		{1, 10, 1},
+		{4, 10, 4},
+		{8, 3, 3},
+		{-1, 0, 1},
+	} {
+		if got := resolveWorkers(tc.workers, tc.jobs); got != tc.want {
+			t.Errorf("resolveWorkers(%d, %d) = %d, want %d", tc.workers, tc.jobs, got, tc.want)
+		}
+	}
+}

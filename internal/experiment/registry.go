@@ -120,21 +120,29 @@ func IsComparison(a Artifact) bool {
 	}
 }
 
-// Run executes an artifact at the given scale (1.0 = full paper scale) and
-// returns a rendered text report. It is the single entry point used by the
-// CLI and the benchmark harness; it also resolves ablation artifacts.
+// Run executes an artifact serially at the given scale (1.0 = full paper
+// scale) and returns a rendered text report.
 func Run(a Artifact, scale float64) (string, error) {
+	return RunJobs(a, scale, 1)
+}
+
+// RunJobs is Run with a worker bound for the artifact's job plan (1 =
+// serial, 0 = GOMAXPROCS). It is the single entry point used by the CLI
+// and the benchmark harness; it also resolves ablation artifacts. Reports
+// are byte-identical at any worker count.
+func RunJobs(a Artifact, scale float64, jobs int) (string, error) {
 	if scale <= 0 || scale > 1 {
 		return "", fmt.Errorf("experiment: scale %v outside (0,1]", scale)
 	}
 	if IsExtra(a) {
-		return RunExtra(a, scale)
+		return RunExtraJobs(a, scale, jobs)
 	}
 	if IsComparison(a) {
 		params, err := ComparisonDefaults(a)
 		if err != nil {
 			return "", err
 		}
+		params.Jobs = jobs
 		cmp, err := RunComparison(params.Scale(scale))
 		if err != nil {
 			return "", err
@@ -145,6 +153,7 @@ func Run(a Artifact, scale float64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	params.Jobs = jobs
 	conv, err := RunConvergence(params.Scale(scale))
 	if err != nil {
 		return "", err

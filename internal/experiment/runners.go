@@ -27,6 +27,9 @@ type ComparisonParams struct {
 	// TimeWeight overrides the environment's exterior time weighting
 	// (0 = calibrated default).
 	TimeWeight float64
+	// Jobs bounds concurrent grid cells (1 = serial, 0 = GOMAXPROCS).
+	// Output is byte-identical at any setting.
+	Jobs int
 }
 
 // Validate reports whether the parameters are usable.
@@ -77,30 +80,52 @@ type Comparison struct {
 	Points []BudgetPoint
 }
 
-// RunComparison executes the sweep: for each budget, each mechanism is
-// trained from scratch on its own environment copy (same fleet seed, so
-// all mechanisms face identical node populations) and then evaluated.
+// comparisonJob builds the self-contained job for one (budget, mechanism)
+// grid cell. Everything stochastic inside the closure is re-seeded from the
+// sweep seed, so cells are independent and can run on any worker.
+func comparisonJob(p ComparisonParams, budget float64, kind MechanismKind) Job[mechanism.EpisodeResult] {
+	return Job[mechanism.EpisodeResult]{
+		Label: fmt.Sprintf("%s η=%v seed=%d", kind, budget, p.Seed),
+		Run: func() (mechanism.EpisodeResult, error) {
+			env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
+			if err != nil {
+				return mechanism.EpisodeResult{}, err
+			}
+			m, err := BuildMechanism(kind, env, p.Seed)
+			if err != nil {
+				return mechanism.EpisodeResult{}, err
+			}
+			return mechanism.TrainAndEvaluate(m, p.TrainEpisodes, p.EvalEpisodes)
+		},
+	}
+}
+
+// RunComparison executes the sweep as a plan of independent jobs, one per
+// (budget, mechanism) cell: each is trained from scratch on its own
+// environment copy (same fleet seed, so all mechanisms face identical node
+// populations) and then evaluated. p.Jobs cells run concurrently; the
+// result is byte-identical at any worker count.
 func RunComparison(p ComparisonParams) (*Comparison, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	jobs := make([]Job[mechanism.EpisodeResult], 0, len(p.Budgets)*len(p.Mechanisms))
+	for _, budget := range p.Budgets {
+		for _, kind := range p.Mechanisms {
+			jobs = append(jobs, comparisonJob(p, budget, kind))
+		}
+	}
+	results, err := Plan[mechanism.EpisodeResult]{Name: "comparison", Jobs: jobs, Workers: p.Jobs}.Execute()
+	if err != nil {
+		return nil, err
+	}
 	out := &Comparison{Params: p}
+	i := 0
 	for _, budget := range p.Budgets {
 		point := BudgetPoint{Budget: budget, Results: make(map[string]mechanism.EpisodeResult, len(p.Mechanisms))}
 		for _, kind := range p.Mechanisms {
-			env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
-			if err != nil {
-				return nil, err
-			}
-			m, err := BuildMechanism(kind, env, p.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := TrainAndEvaluate(m, p.TrainEpisodes, p.EvalEpisodes)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: budget %.0f: %w", budget, err)
-			}
-			point.Results[kind.String()] = res
+			point.Results[kind.String()] = results[i]
+			i++
 		}
 		out.Points = append(out.Points, point)
 	}
@@ -126,6 +151,10 @@ type ConvergenceParams struct {
 	// TimeWeight overrides the environment's exterior time weighting
 	// (0 = calibrated default).
 	TimeWeight float64
+	// Jobs bounds concurrent plan jobs (1 = serial, 0 = GOMAXPROCS). A
+	// single convergence run is one job, so this only matters when the run
+	// is embedded in a larger plan.
+	Jobs int
 }
 
 // Validate reports whether the parameters are usable.
@@ -160,28 +189,36 @@ type Convergence struct {
 }
 
 // RunConvergence trains the mechanism and records its per-episode results.
+// The run is a one-job plan so it shares the scheduler's error-attribution
+// path with the sweeps.
 func RunConvergence(p ConvergenceParams) (*Convergence, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: p.Budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
+	job := Job[[]mechanism.EpisodeResult]{
+		Label: fmt.Sprintf("%s η=%v seed=%d", p.Mechanism, p.Budget, p.Seed),
+		Run: func() ([]mechanism.EpisodeResult, error) {
+			env, err := BuildEnv(Setup{Preset: p.Preset, Nodes: p.Nodes, Budget: p.Budget, Seed: p.Seed, TimeWeight: p.TimeWeight})
+			if err != nil {
+				return nil, err
+			}
+			m, err := BuildMechanism(p.Mechanism, env, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t, ok := m.(mechanism.Trainable)
+			if !ok {
+				return nil, fmt.Errorf("mechanism %s is not trainable", m.Name())
+			}
+			return t.Train(p.Episodes, nil)
+		},
+	}
+	curves, err := Plan[[]mechanism.EpisodeResult]{Name: "convergence", Jobs: []Job[[]mechanism.EpisodeResult]{job}, Workers: p.Jobs}.Execute()
 	if err != nil {
 		return nil, err
 	}
-	m, err := BuildMechanism(p.Mechanism, env, p.Seed)
-	if err != nil {
-		return nil, err
-	}
-	t, ok := m.(trainable)
-	if !ok {
-		return nil, fmt.Errorf("experiment: mechanism %s is not trainable", m.Name())
-	}
-	episodes, err := t.Train(p.Episodes, nil)
-	if err != nil {
-		return nil, err
-	}
-	out := &Convergence{Params: p, Episodes: episodes}
-	out.SmoothedReward = smooth(extReturns(episodes), p.Window)
+	out := &Convergence{Params: p, Episodes: curves[0]}
+	out.SmoothedReward = smooth(extReturns(curves[0]), p.Window)
 	return out, nil
 }
 

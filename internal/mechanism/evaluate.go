@@ -1,0 +1,68 @@
+package mechanism
+
+import "fmt"
+
+// Trainable is the optional training surface the learning mechanisms
+// (Chiron's hierarchical agent, the DRL-based and Greedy baselines)
+// implement on top of Mechanism. Static references (Uniform, EqualTime)
+// deliberately do not.
+type Trainable interface {
+	// Train runs episodes training episodes, invoking callback (when
+	// non-nil) after each, and returns the per-episode summaries.
+	Train(episodes int, callback func(EpisodeResult)) ([]EpisodeResult, error)
+}
+
+// Evaluate averages episodes deterministic (train=false) episodes of m.
+// Every experiment runner funnels through this one accumulation loop so the
+// floating-point averaging order — and therefore seeded CSV output — is
+// identical everywhere.
+func Evaluate(m Mechanism, episodes int) (EpisodeResult, error) {
+	if episodes <= 0 {
+		return EpisodeResult{}, fmt.Errorf("mechanism: evaluate %d episodes, want > 0", episodes)
+	}
+	var agg EpisodeResult
+	for ep := 0; ep < episodes; ep++ {
+		res, err := m.RunEpisode(false)
+		if err != nil {
+			return EpisodeResult{}, fmt.Errorf("mechanism: eval episode %d: %w", ep+1, err)
+		}
+		agg.Rounds += res.Rounds
+		agg.FinalAccuracy += res.FinalAccuracy
+		agg.ExteriorReturn += res.ExteriorReturn
+		agg.DiscountedReturn += res.DiscountedReturn
+		agg.InnerReturn += res.InnerReturn
+		agg.TimeEfficiency += res.TimeEfficiency
+		agg.TotalTime += res.TotalTime
+		agg.BudgetSpent += res.BudgetSpent
+		agg.ServerUtility += res.ServerUtility
+	}
+	inv := 1 / float64(episodes)
+	agg.Episode = episodes
+	agg.Rounds = int(float64(agg.Rounds)*inv + 0.5)
+	agg.FinalAccuracy *= inv
+	agg.ExteriorReturn *= inv
+	agg.DiscountedReturn *= inv
+	agg.InnerReturn *= inv
+	agg.TimeEfficiency *= inv
+	agg.TotalTime *= inv
+	agg.BudgetSpent *= inv
+	agg.ServerUtility *= inv
+	return agg, nil
+}
+
+// TrainAndEvaluate trains m for trainEpisodes when it is Trainable (static
+// references skip straight to evaluation) and then averages evalEpisodes
+// deterministic episodes. It is the one train-then-evaluate path shared by
+// every comparison, convergence, and ablation runner.
+func TrainAndEvaluate(m Mechanism, trainEpisodes, evalEpisodes int) (EpisodeResult, error) {
+	if t, ok := m.(Trainable); ok && trainEpisodes > 0 {
+		if _, err := t.Train(trainEpisodes, nil); err != nil {
+			return EpisodeResult{}, fmt.Errorf("mechanism: train %s: %w", m.Name(), err)
+		}
+	}
+	res, err := Evaluate(m, evalEpisodes)
+	if err != nil {
+		return EpisodeResult{}, fmt.Errorf("mechanism: evaluate %s: %w", m.Name(), err)
+	}
+	return res, nil
+}

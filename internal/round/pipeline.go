@@ -1,0 +1,115 @@
+package round
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/device"
+	"chiron/internal/faults"
+	"chiron/internal/market"
+)
+
+// Config assembles a Pipeline. All knobs mirror the environment's failure
+// and churn model; the zero-value extensions reproduce the paper's clean
+// assumptions. Values are expected to be pre-validated and pre-resolved by
+// the caller (edgeenv resolves the default quorum and empty-round timeout
+// before building the pipeline).
+type Config struct {
+	// Nodes is the fleet (never mutated by the pipeline).
+	Nodes []*device.Node
+	// Availability and CommJitter parameterize the churn draws of Respond.
+	Availability float64
+	CommJitter   float64
+	// Rng drives the churn draws (required when either is enabled).
+	Rng *rand.Rand
+	// Faults, Deadline, MaxRetries, and RetryBackoff parameterize Execute.
+	Faults       faults.Schedule
+	Deadline     float64
+	MaxRetries   int
+	RetryBackoff float64
+	// FailurePayment and EmptyTimeout parameterize Settle.
+	FailurePayment float64
+	EmptyTimeout   float64
+	// MinQuorum is Commit's completion quorum (must be ≥ 1).
+	MinQuorum int
+	// Accuracy and Ledger are the learning task and episode budget the
+	// Settle/Commit stages act on.
+	Accuracy accuracy.Model
+	Ledger   *market.Ledger
+}
+
+// Pipeline is the assembled stage chain for one environment. It is not
+// safe for concurrent use (stages share the State and the churn RNG);
+// independent environments each own an independent pipeline, which is what
+// lets experiment sweeps run grid cells in parallel.
+type Pipeline struct {
+	Offer   Offer
+	Respond Respond
+	Execute Execute
+	Settle  Settle
+	Commit  Commit
+}
+
+// New validates cfg's pipeline-critical fields and assembles the chain.
+func New(cfg Config) (*Pipeline, error) {
+	switch {
+	case len(cfg.Nodes) == 0:
+		return nil, fmt.Errorf("round: no nodes")
+	case cfg.Accuracy == nil:
+		return nil, fmt.Errorf("round: no accuracy model")
+	case cfg.Ledger == nil:
+		return nil, fmt.Errorf("round: no ledger")
+	case cfg.MinQuorum < 1:
+		return nil, fmt.Errorf("round: min quorum %d, want >= 1", cfg.MinQuorum)
+	case cfg.EmptyTimeout <= 0:
+		return nil, fmt.Errorf("round: empty-round timeout %v, want > 0", cfg.EmptyTimeout)
+	case (cfg.CommJitter > 0 || (cfg.Availability > 0 && cfg.Availability < 1)) && cfg.Rng == nil:
+		return nil, fmt.Errorf("round: churn draws require a Rng")
+	}
+	return &Pipeline{
+		Offer: Offer{NumNodes: len(cfg.Nodes)},
+		Respond: Respond{
+			Nodes:        cfg.Nodes,
+			Availability: cfg.Availability,
+			CommJitter:   cfg.CommJitter,
+			Rng:          cfg.Rng,
+		},
+		Execute: Execute{
+			Faults:       cfg.Faults,
+			Deadline:     cfg.Deadline,
+			MaxRetries:   cfg.MaxRetries,
+			RetryBackoff: cfg.RetryBackoff,
+		},
+		Settle: Settle{
+			FailurePayment: cfg.FailurePayment,
+			EmptyTimeout:   cfg.EmptyTimeout,
+			Ledger:         cfg.Ledger,
+		},
+		Commit: Commit{
+			Accuracy:  cfg.Accuracy,
+			Ledger:    cfg.Ledger,
+			MinQuorum: cfg.MinQuorum,
+		},
+	}, nil
+}
+
+// Stages returns the chain in execution order.
+func (p *Pipeline) Stages() []Stage {
+	return []Stage{p.Offer, p.Respond, p.Execute, p.Settle, p.Commit}
+}
+
+// Run drives st through the stage chain, stopping at the first terminal
+// status (an empty offer or a budget-infeasible round skips the remaining
+// stages). Errors are wrapped with the failing stage's name.
+func (p *Pipeline) Run(st *State) error {
+	for _, s := range p.Stages() {
+		if err := s.Run(st); err != nil {
+			return fmt.Errorf("round: %s: %w", s.Name(), err)
+		}
+		if st.Status != StatusPending {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Package round decomposes one federated training round into an explicit
+// stage chain:
+//
+//	Offer → Respond → Execute → Settle → Commit
+//
+// Each stage is a small type with its own inputs and outputs, operating on
+// a shared State blackboard:
+//
+//   - Offer validates the posted price vector and sizes the round record.
+//   - Respond plays every node's best response (Eqn. 11), including the
+//     availability and bandwidth-jitter draws of the churn model.
+//   - Execute applies the injected fault schedule (crash, straggle, drop,
+//     corrupt) and the server's round deadline to the joined nodes.
+//   - Settle computes the budget side: the actual payment under the
+//     failure-payment rule, the completion quorum inputs, the empty-offer
+//     waste charge, and the worst-case (contracted) budget feasibility
+//     check of Sec. V-A.
+//   - Commit advances the accuracy model when the quorum is met and
+//     records the round in the ledger.
+//
+// The chain reproduces edgeenv's original monolithic Step bit-for-bit:
+// stages iterate nodes in index order, consume the shared RNG in the same
+// sequence (availability before jitter, per node), and accumulate payments
+// in the same floating-point order. edgeenv retains the MDP wrapper
+// (states, rewards, termination) on top of this pipeline; experiment
+// sweeps therefore parallelize across environments without touching the
+// per-round economics.
+package round
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/device"
+	"chiron/internal/faults"
+	"chiron/internal/market"
+	"chiron/internal/mat"
+)
+
+// Status reports how a round left the pipeline.
+type Status int
+
+// The terminal pipeline statuses. StatusPending marks a State still
+// flowing through the chain.
+const (
+	StatusPending Status = iota
+	// StatusCommitted: the round trained (or missed quorum), was paid for,
+	// and is recorded in the ledger.
+	StatusCommitted
+	// StatusEmpty: the offer attracted no participants; the server's
+	// timeout was charged as waste and no round was recorded.
+	StatusEmpty
+	// StatusBudgetExhausted: the worst-case contracted payment exceeds the
+	// remaining budget; the round is discarded wholesale (Sec. V-A).
+	StatusBudgetExhausted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusCommitted:
+		return "committed"
+	case StatusEmpty:
+		return "empty"
+	case StatusBudgetExhausted:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// State is the blackboard one round's data flows through. Stages populate
+// it in chain order; the fields each stage owns are documented on the
+// stage types.
+type State struct {
+	// Index is k, the 1-based round number (drives the fault schedule).
+	Index int
+	// Prices is the per-node offer posted by the mechanism.
+	Prices []float64
+	// PrevAccuracy is A(ω_{k−1}); Commit leaves the post-round accuracy in
+	// Record.Accuracy (unchanged when the quorum is missed).
+	PrevAccuracy float64
+
+	// Record is the market round being assembled.
+	Record market.Round
+	// Joined marks nodes whose best response accepted the offer.
+	Joined []bool
+	// ContractPay holds each joiner's full contracted payment p_i·ζ_i.
+	ContractPay []float64
+	// CommTimes holds each joiner's (possibly jittered) upload time, the
+	// unit of retry churn in Execute.
+	CommTimes []float64
+	// Contracted is Σ ContractPay: the worst-case round payment the budget
+	// feasibility check uses.
+	Contracted float64
+	// Completed lists node indices whose updates entered aggregation.
+	Completed []int
+	// Status is the round's terminal disposition (set by Settle or Commit).
+	Status Status
+}
+
+// NewState positions a fresh blackboard for round index over n nodes.
+// prices is retained by reference until Offer clones it into the record.
+func NewState(index int, prices []float64, prevAccuracy float64, n int) *State {
+	return &State{
+		Index:        index,
+		Prices:       prices,
+		PrevAccuracy: prevAccuracy,
+		Joined:       make([]bool, n),
+		ContractPay:  make([]float64, n),
+		CommTimes:    make([]float64, n),
+	}
+}
+
+// Stage is one link of the round chain. Run mutates the State in place;
+// an error aborts the round (the caller decides episode semantics).
+type Stage interface {
+	// Name identifies the stage in errors and logs.
+	Name() string
+	// Run executes the stage against the blackboard.
+	Run(st *State) error
+}
+
+// Offer opens the round: it validates the posted price vector against the
+// fleet size and sizes the record's per-node vectors.
+type Offer struct {
+	// NumNodes is the fleet size N every offer must cover.
+	NumNodes int
+}
+
+// Name implements Stage.
+func (o Offer) Name() string { return "offer" }
+
+// Run implements Stage.
+func (o Offer) Run(st *State) error {
+	if len(st.Prices) != o.NumNodes {
+		return fmt.Errorf("%d prices for %d nodes", len(st.Prices), o.NumNodes)
+	}
+	st.Record = market.Round{
+		Prices:   mat.CloneVec(st.Prices),
+		Freqs:    make([]float64, o.NumNodes),
+		Times:    make([]float64, o.NumNodes),
+		Outcomes: make([]market.Outcome, o.NumNodes),
+	}
+	return nil
+}
+
+// Respond plays the fleet's side of the round: per node, an availability
+// draw, a bandwidth-jitter draw, and the Eqn. (11) best response to the
+// posted price. It fills Joined, Freqs, the nominal Times (compute +
+// jittered upload), ContractPay, CommTimes, Contracted, and Participants.
+//
+// RNG discipline: nodes are visited in index order; each available node
+// consumes its availability draw before its jitter draw, and offline nodes
+// consume no jitter draw — the exact sequence the monolithic Step used, so
+// seeded traces stay bit-identical.
+type Respond struct {
+	// Nodes is the fleet (never mutated).
+	Nodes []*device.Node
+	// Availability is the per-round probability a node is reachable; 0 or 1
+	// disables the draw (always available).
+	Availability float64
+	// CommJitter scales each node's upload time by a uniform factor in
+	// [1−CommJitter, 1+CommJitter]; 0 disables the draw.
+	CommJitter float64
+	// Rng drives the availability and jitter draws. Required when either
+	// is enabled.
+	Rng *rand.Rand
+}
+
+// Name implements Stage.
+func (r Respond) Name() string { return "respond" }
+
+// Run implements Stage.
+func (r Respond) Run(st *State) error {
+	for i, node := range r.Nodes {
+		if r.Availability > 0 && r.Availability < 1 && r.Rng.Float64() >= r.Availability {
+			continue // node offline this round
+		}
+		commTime := node.CommTime
+		if r.CommJitter > 0 {
+			commTime *= 1 + (r.Rng.Float64()*2-1)*r.CommJitter
+		}
+		resp := node.BestResponseWithComm(st.Prices[i], commTime)
+		if !resp.Participating {
+			continue
+		}
+		st.Record.Participants++
+		st.Record.Freqs[i] = resp.Freq
+		st.Record.Times[i] = resp.Time
+		st.Record.Outcomes[i] = market.OutcomeCompleted
+		st.Joined[i] = true
+		st.ContractPay[i] = resp.Payment
+		st.CommTimes[i] = commTime
+		st.Contracted += resp.Payment
+	}
+	return nil
+}
+
+// Execute runs the joined nodes through the failure pipeline: the injected
+// fault schedule first (a Crash silences the node until the deadline or its
+// nominal finish, a Straggle multiplies its time, a Drop burns retry churn
+// and abandons the node past MaxRetries, a Corrupt upload is rejected at
+// sanitization), then the server's straggler deadline, which cuts any node
+// still running. It rewrites Times and Outcomes in place.
+type Execute struct {
+	// Faults schedules per-node, per-round failures (nil disables).
+	Faults faults.Schedule
+	// Deadline is the server's straggler cutoff in seconds (0 disables).
+	Deadline float64
+	// MaxRetries bounds re-requests of a dropped upload.
+	MaxRetries int
+	// RetryBackoff is the extra pause before each re-upload attempt.
+	RetryBackoff float64
+}
+
+// Name implements Stage.
+func (x Execute) Name() string { return "execute" }
+
+// Run implements Stage.
+func (x Execute) Run(st *State) error {
+	for i := range st.Joined {
+		if !st.Joined[i] {
+			continue
+		}
+		t := st.Record.Times[i]
+		outcome := market.OutcomeCompleted
+		if x.Faults != nil {
+			if f, ok := x.Faults.At(st.Index, i); ok {
+				switch f.Kind {
+				case faults.Crash:
+					outcome = market.OutcomeCrashed
+					// A crashed node goes silent: the server learns of the
+					// failure only by waiting — until the deadline when one
+					// is set, else until the node's expected finish time.
+					if x.Deadline > 0 {
+						t = x.Deadline
+					}
+				case faults.Straggle:
+					if f.Slowdown > 1 {
+						t *= f.Slowdown
+					}
+				case faults.Drop:
+					// Each lost upload costs a re-upload plus backoff; the
+					// node is abandoned once the retry budget runs out.
+					retries := f.Attempts
+					if retries > x.MaxRetries {
+						retries = x.MaxRetries
+						outcome = market.OutcomeDropped
+					}
+					t += float64(retries) * (st.CommTimes[i] + x.RetryBackoff)
+					if outcome == market.OutcomeDropped {
+						// The final, abandoned attempt still burned its
+						// upload time before the server gave up.
+						t += st.CommTimes[i]
+					}
+				case faults.Corrupt:
+					// The upload lands on time but fails sanitization.
+					outcome = market.OutcomeCorrupted
+				}
+			}
+		}
+		if x.Deadline > 0 && t > x.Deadline {
+			t = x.Deadline
+			if outcome == market.OutcomeCompleted {
+				outcome = market.OutcomeDeadlineCut
+			}
+		}
+		st.Record.Times[i] = t
+		st.Record.Outcomes[i] = outcome
+	}
+	return nil
+}
+
+// Settle closes the round's economics. An offer nobody accepted charges
+// the server EmptyTimeout of wall-clock waste and ends the round
+// (StatusEmpty). Otherwise the worst-case contracted payment is checked
+// against the remaining budget — an overrunning round is discarded
+// wholesale per Sec. V-A (StatusBudgetExhausted) — and the actual payment
+// is accumulated in node order: full price·frequency for completed nodes,
+// the FailurePayment fraction for failed ones, keeping the ledger exact
+// under churn. Settle also fills Completed, the quorum input Commit needs.
+type Settle struct {
+	// FailurePayment ∈ [0,1] is the fraction of a failed node's contracted
+	// payment the server still pays.
+	FailurePayment float64
+	// EmptyTimeout is the wall-clock cost of an offer with no takers.
+	EmptyTimeout float64
+	// Ledger is the episode budget ledger (waste and feasibility).
+	Ledger *market.Ledger
+}
+
+// Name implements Stage.
+func (s Settle) Name() string { return "settle" }
+
+// Run implements Stage.
+func (s Settle) Run(st *State) error {
+	// An offer that attracts no participants trains nothing but still
+	// costs the server a full offer timeout of wall-clock time before it
+	// can repost — otherwise "price everyone out" would be a free skip a
+	// degenerate policy could idle on.
+	if st.Record.Participants == 0 {
+		if err := s.Ledger.AddWaste(s.EmptyTimeout); err != nil {
+			return fmt.Errorf("empty round: %w", err)
+		}
+		st.Status = StatusEmpty
+		return nil
+	}
+	// Budget check happens before any training: it uses the full
+	// contracted payment — what the server owes if every joiner completes
+	// — so the commitment is affordable in the worst case; the actual
+	// payment (failures refunded) can only be smaller.
+	if st.Contracted > s.Ledger.Remaining() {
+		st.Status = StatusBudgetExhausted
+		return nil
+	}
+	for i := range st.Joined {
+		if !st.Joined[i] {
+			continue
+		}
+		if st.Record.Outcomes[i] == market.OutcomeCompleted {
+			st.Record.Payment += st.ContractPay[i]
+			st.Completed = append(st.Completed, i)
+		} else {
+			st.Record.Payment += st.ContractPay[i] * s.FailurePayment
+		}
+	}
+	st.Record.Completed = len(st.Completed)
+	return nil
+}
+
+// Commit finishes the round: when the completion quorum is met the
+// accuracy model advances on the completed cohort, otherwise the global
+// model (and accuracy) stays where it was; either way the round — its
+// time spent and failure payments owed — is recorded in the ledger.
+type Commit struct {
+	// Accuracy produces A(ω_k) from the completed cohort.
+	Accuracy accuracy.Model
+	// Ledger records the round and deducts its payment.
+	Ledger *market.Ledger
+	// MinQuorum is the minimum completed updates for model progress (≥ 1).
+	MinQuorum int
+}
+
+// Name implements Stage.
+func (c Commit) Name() string { return "commit" }
+
+// Run implements Stage.
+func (c Commit) Run(st *State) error {
+	acc := st.PrevAccuracy
+	if len(st.Completed) >= c.MinQuorum {
+		var err error
+		acc, err = c.Accuracy.Advance(st.Completed)
+		if err != nil {
+			return fmt.Errorf("advance accuracy: %w", err)
+		}
+	}
+	st.Record.Accuracy = acc
+	if err := c.Ledger.Commit(st.Record); err != nil {
+		// Unreachable given Settle's pre-check, but surface it rather
+		// than panic.
+		return fmt.Errorf("commit: %w", err)
+	}
+	st.Status = StatusCommitted
+	return nil
+}
