@@ -264,7 +264,7 @@ func BenchmarkAblationRealTraining(b *testing.B) {
 // surrogate, ledger commit) at N=5.
 func BenchmarkEnvStep(b *testing.B) {
 	env := ablationEnv(b, 0, 0)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		b.Fatal(err)
 	}
 	prices := make([]float64, env.NumNodes())
@@ -279,7 +279,7 @@ func BenchmarkEnvStep(b *testing.B) {
 		}
 		if res.Done {
 			b.StopTimer()
-			if _, err := env.Reset(); err != nil {
+			if err := env.Reset(); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()

@@ -17,7 +17,6 @@ import (
 	"strings"
 
 	"chiron"
-	"chiron/internal/core"
 	"chiron/internal/mechanism"
 	"chiron/internal/trace"
 )
@@ -57,8 +56,8 @@ func cmdTrain(args []string) error {
 	workers := fs.Int("workers", 0, "matrix-kernel worker count (0 = GOMAXPROCS); results are identical at any setting")
 	baseline := fs.String("baseline", "chiron", "mechanism to train: chiron, drl, or greedy")
 	logEvery := fs.Int("log-every", 50, "print progress every this many episodes (0 disables)")
-	save := fs.String("save", "", "write the trained Chiron agent checkpoint to this path (chiron baseline only)")
-	load := fs.String("load", "", "restore a Chiron agent checkpoint before training/evaluation")
+	save := fs.String("save", "", "write the trained mechanism checkpoint to this path (any learnable mechanism)")
+	load := fs.String("load", "", "restore a mechanism checkpoint before training/evaluation")
 	tracePath := fs.String("trace", "", "write a JSONL training trace (round + episode records) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,9 +96,9 @@ func cmdTrain(args []string) error {
 	}
 
 	if *load != "" {
-		agent, ok := m.(*core.Chiron)
+		agent, ok := m.(mechanism.Checkpointer)
 		if !ok {
-			return fmt.Errorf("-load only applies to the chiron mechanism")
+			return fmt.Errorf("-load does not apply to mechanism %s", m.Name())
 		}
 		if err := agent.LoadCheckpoint(*load); err != nil {
 			return err
@@ -159,9 +158,9 @@ func cmdTrain(args []string) error {
 	fmt.Printf("  budget spent   : %.1f / %.0f\n", res.BudgetSpent, *budget)
 	fmt.Printf("  server utility : %.1f\n", res.ServerUtility)
 	if *save != "" {
-		agent, ok := m.(*core.Chiron)
+		agent, ok := m.(mechanism.Checkpointer)
 		if !ok {
-			return fmt.Errorf("-save only applies to the chiron mechanism")
+			return fmt.Errorf("-save does not apply to mechanism %s", m.Name())
 		}
 		if err := agent.SaveCheckpoint(*save); err != nil {
 			return err

@@ -94,7 +94,7 @@ func run(w io.Writer, episodes, evalEps int) error {
 	// Show the learned allocation: run one deterministic round and print
 	// what each node was paid and how long it took.
 	env := sys.Env()
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		return err
 	}
 	prices, err := sys.Agent().PriceVector()

@@ -8,6 +8,7 @@ import (
 	"chiron/internal/accuracy"
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
+	"chiron/internal/policy"
 )
 
 func testEnv(t *testing.T, nodes int, budget float64) *edgeenv.Env {
@@ -55,7 +56,15 @@ func TestDRLBasedIsMyopic(t *testing.T) {
 		t.Fatalf("gamma %v, want 0 (single-round optimization)", cfg.PPO.Gamma)
 	}
 	env := testEnv(t, 3, 100)
-	if got, want := myopicStateDim(env), env.StateDim()-2; got != want {
+	myopic, err := policy.NewMyopicEncoder(env)
+	if err != nil {
+		t.Fatalf("NewMyopicEncoder: %v", err)
+	}
+	exterior, err := policy.NewExteriorEncoder(env)
+	if err != nil {
+		t.Fatalf("NewExteriorEncoder: %v", err)
+	}
+	if got, want := myopic.Dim(), exterior.Dim()-2; got != want {
 		t.Fatalf("myopic state dim %d, want %d (no budget, no round index)", got, want)
 	}
 }
@@ -98,7 +107,7 @@ func TestDRLBasedEnergyModeReward(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDRLBased: %v", err)
 	}
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := make([]float64, 3)

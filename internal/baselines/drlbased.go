@@ -1,7 +1,9 @@
 // Package baselines implements the two comparison mechanisms of Sec. VI:
 // the single-agent DRL-based approach of Zhan et al. (INFOCOM'20) and the
 // replay-buffer Greedy strategy, plus a static Uniform reference used by
-// ablation benchmarks.
+// ablation benchmarks. All four run through the shared agent stack — the
+// internal/policy encoders and heads, the internal/rl learner core, and the
+// mechanism.Driver episode loop.
 package baselines
 
 import (
@@ -10,6 +12,7 @@ import (
 
 	"chiron/internal/edgeenv"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
 	"chiron/internal/rl"
 )
 
@@ -58,19 +61,31 @@ func DefaultDRLBasedConfig() DRLBasedConfig {
 
 // DRLBased is the state-of-the-art comparison from [8]: one PPO agent
 // directly outputs the full per-node price vector each round and optimizes
-// the single-round (myopic) objective. Its state omits the remaining
-// budget — the defining difference from Chiron's long-term exterior agent —
-// and its reward carries no model-accuracy term.
+// the single-round (myopic) objective. Its observation (the myopic encoder)
+// omits the remaining budget — the defining difference from Chiron's
+// long-term exterior agent — and its reward carries no model-accuracy term.
 type DRLBased struct {
-	cfg     DRLBasedConfig
-	env     *edgeenv.Env
-	agent   *rl.PPO
-	buf     *rl.Buffer
-	rng     *rand.Rand
-	episode int
+	cfg   DRLBasedConfig
+	env   *edgeenv.Env
+	obs   *policy.Concat           // history-only myopic observation
+	head  policy.BoundedVectorHead // per-node price head
+	pair  *rl.Pair
+	sched *rl.Scheduler
+	drv   *mechanism.Driver
+	src   *rl.CountingSource
+	rng   *rand.Rand
+
+	// Per-round actor scratch, valid between Decide and Observe.
+	lastState []float64
+	lastAct   []float64
+	lastLP    float64
 }
 
-var _ mechanism.Mechanism = (*DRLBased)(nil)
+var (
+	_ mechanism.Mechanism    = (*DRLBased)(nil)
+	_ mechanism.Actor        = (*DRLBased)(nil)
+	_ mechanism.Checkpointer = (*DRLBased)(nil)
+)
 
 // NewDRLBased builds the baseline bound to env.
 func NewDRLBased(env *edgeenv.Env, cfg DRLBasedConfig) (*DRLBased, error) {
@@ -86,12 +101,32 @@ func NewDRLBased(env *edgeenv.Env, cfg DRLBasedConfig) (*DRLBased, error) {
 	if cfg.Mode != RewardServerRound && cfg.Mode != RewardTimeEnergy {
 		return nil, fmt.Errorf("baselines: drl-based reward mode %d", cfg.Mode)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	agent, err := rl.NewPPO(rng, myopicStateDim(env), env.NumNodes(), cfg.PPO)
+	src := rl.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
+	obs, err := policy.NewMyopicEncoder(env)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: drl-based encoder: %w", err)
+	}
+	agent, err := rl.NewPPO(rng, obs.Dim(), env.NumNodes(), cfg.PPO)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: drl-based agent: %w", err)
 	}
-	return &DRLBased{cfg: cfg, env: env, agent: agent, buf: &rl.Buffer{}, rng: rng}, nil
+	d := &DRLBased{
+		cfg: cfg,
+		env: env,
+		obs: obs,
+		// The action square covers the same feasible region as Chiron's
+		// total-price simplex.
+		head: policy.BoundedVectorHead{Lo: 0, Hi: env.MaxTotalPrice() / float64(env.NumNodes())},
+		pair: rl.NewPair("agent", agent, cfg.RewardScale),
+		src:  src,
+		rng:  rng,
+	}
+	// Update-then-decay: nothing happens on an episode that produced no
+	// samples; otherwise update every episode (no cross-episode batching).
+	d.sched = &rl.Scheduler{Pairs: []*rl.Pair{d.pair}, Gate: 0, MinSamples: 1}
+	d.drv = mechanism.NewDriver("drl-based", env, d)
+	return d, nil
 }
 
 // Name implements mechanism.Mechanism.
@@ -101,86 +136,64 @@ func (d *DRLBased) Name() string { return "DRL-based" }
 func (d *DRLBased) Env() *edgeenv.Env { return d.env }
 
 // Agent exposes the underlying PPO learner.
-func (d *DRLBased) Agent() *rl.PPO { return d.agent }
+func (d *DRLBased) Agent() *rl.PPO { return d.pair.Agent }
 
-// myopicStateDim is the exterior state minus the two long-term entries
-// (remaining budget and round index).
-func myopicStateDim(env *edgeenv.Env) int { return env.StateDim() - 2 }
+// Episode returns the number of training episodes completed.
+func (d *DRLBased) Episode() int { return d.drv.Episode() }
 
-// myopicState truncates the environment state to the history window only.
-func (d *DRLBased) myopicState() []float64 {
-	full := d.env.ExteriorState()
-	return full[:len(full)-2]
+// Decide implements mechanism.Actor.
+func (d *DRLBased) Decide(train bool) ([]float64, error) {
+	d.lastState = d.obs.State()
+	var err error
+	if train {
+		d.lastAct, d.lastLP, err = d.pair.Agent.Act(d.rng, d.lastState)
+	} else {
+		d.lastAct, err = d.pair.Agent.ActDeterministic(d.lastState)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baselines: drl-based act: %w", err)
+	}
+	return d.head.Prices(d.lastAct), nil
 }
 
-// priceCapPerNode bounds each node's price so the action square covers the
-// same feasible region as Chiron's total-price simplex.
-func (d *DRLBased) priceCapPerNode() float64 {
-	return d.env.MaxTotalPrice() / float64(d.env.NumNodes())
+// Observe implements mechanism.Actor.
+func (d *DRLBased) Observe(res edgeenv.StepResult, train bool) error {
+	if !train {
+		return nil
+	}
+	d.pair.Store(rl.Transition{
+		State:     d.lastState,
+		Action:    d.lastAct,
+		Reward:    d.myopicReward(res),
+		NextState: d.obs.State(),
+		Done:      res.Done,
+		LogProb:   d.lastLP,
+	})
+	return nil
+}
+
+// Discard implements mechanism.Actor: the discarded budget-overrun round
+// stores nothing, so the previous committed round was terminal.
+func (d *DRLBased) Discard(train bool) {
+	if train {
+		d.pair.Buf.MarkLastDone()
+	}
+}
+
+// EndEpisode implements mechanism.Actor.
+func (d *DRLBased) EndEpisode(train bool) error {
+	if !train {
+		return nil
+	}
+	if err := d.sched.EndEpisode(); err != nil {
+		return fmt.Errorf("baselines: drl-based update: %w", err)
+	}
+	return nil
 }
 
 // RunEpisode implements mechanism.Mechanism.
 func (d *DRLBased) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
-	if _, err := d.env.Reset(); err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	state := d.myopicState()
-	priceCap := d.priceCapPerNode()
-	ext := mechanism.NewReturns()
-	var innReturn float64
-	for !d.env.Done() {
-		var act []float64
-		var lp float64
-		var err error
-		if train {
-			act, lp, err = d.agent.Act(d.rng, state)
-		} else {
-			act, err = d.agent.ActDeterministic(state)
-		}
-		if err != nil {
-			return mechanism.EpisodeResult{}, fmt.Errorf("baselines: drl-based act: %w", err)
-		}
-		prices := rl.SquashVec(act, 0, priceCap)
-		res, err := d.env.Step(prices)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		next := d.myopicState()
-		if res.Done && res.Round.Participants == 0 {
-			// Discarded budget-overrun round: the previous committed round
-			// was terminal.
-			if train {
-				d.buf.MarkLastDone()
-			}
-			break
-		}
-		ext.Add(res.ExteriorReward)
-		innReturn += res.InnerReward
-		if train {
-			d.buf.Add(rl.Transition{
-				State:     state,
-				Action:    act,
-				Reward:    d.myopicReward(res) * d.cfg.RewardScale,
-				NextState: next,
-				Done:      res.Done,
-				LogProb:   lp,
-			})
-		}
-		state = next
-		if res.Done {
-			break
-		}
-	}
-	d.episode++
-	result := mechanism.Summarize(d.env, d.episode, ext, innReturn)
-	if train && d.buf.Len() > 0 {
-		if _, err := d.agent.Update(d.buf); err != nil {
-			return mechanism.EpisodeResult{}, fmt.Errorf("baselines: drl-based update: %w", err)
-		}
-		d.buf.Clear()
-		d.agent.EndEpisode()
-	}
-	return result, nil
+	return d.drv.RunEpisode(train)
 }
 
 // myopicReward scores one round under the configured single-round
@@ -200,19 +213,65 @@ func (d *DRLBased) myopicReward(res edgeenv.StepResult) float64 {
 
 // Train runs training episodes, mirroring core.Chiron.Train.
 func (d *DRLBased) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
-	if episodes <= 0 {
-		return nil, fmt.Errorf("baselines: train %d episodes, want > 0", episodes)
+	return d.drv.Train(episodes, callback)
+}
+
+// drlCheckpointMechanism tags DRL-based checkpoints in the unified format.
+const drlCheckpointMechanism = "drl-based"
+
+// Checkpoint captures the baseline's training state in the unified format.
+func (d *DRLBased) Checkpoint() *rl.Checkpoint {
+	rng := d.src.State()
+	return &rl.Checkpoint{
+		Mechanism: drlCheckpointMechanism,
+		Nodes:     d.env.NumNodes(),
+		StateDim:  d.obs.Dim(),
+		Episode:   d.drv.Episode(),
+		RNG:       &rng,
+		Agents:    []rl.AgentState{rl.PairState(d.pair)},
 	}
-	results := make([]mechanism.EpisodeResult, 0, episodes)
-	for ep := 0; ep < episodes; ep++ {
-		res, err := d.RunEpisode(true)
-		if err != nil {
-			return results, fmt.Errorf("baselines: drl-based episode %d: %w", ep+1, err)
-		}
-		results = append(results, res)
-		if callback != nil {
-			callback(res)
+}
+
+// Restore overwrites the baseline's training state from a checkpoint taken
+// on an identically shaped system.
+func (d *DRLBased) Restore(ck *rl.Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("baselines: restore from nil checkpoint")
+	}
+	if ck.Mechanism != "" && ck.Mechanism != drlCheckpointMechanism {
+		return fmt.Errorf("baselines: checkpoint for mechanism %q, want %q", ck.Mechanism, drlCheckpointMechanism)
+	}
+	st := ck.Agent("agent")
+	if st == nil || st.Snapshot == nil {
+		return fmt.Errorf("%w: missing agent snapshot", rl.ErrCorruptCheckpoint)
+	}
+	if ck.Nodes != d.env.NumNodes() || ck.StateDim != d.obs.Dim() {
+		return fmt.Errorf("baselines: checkpoint for %d nodes / state dim %d, environment has %d / %d",
+			ck.Nodes, ck.StateDim, d.env.NumNodes(), d.obs.Dim())
+	}
+	if err := rl.RestorePair(d.pair, st); err != nil {
+		return fmt.Errorf("baselines: restore drl-based: %w", err)
+	}
+	d.drv.SetEpisode(ck.Episode)
+	if ck.RNG != nil {
+		if err := d.src.Restore(*ck.RNG); err != nil {
+			return fmt.Errorf("baselines: restore rng: %w", err)
 		}
 	}
-	return results, nil
+	return nil
+}
+
+// SaveCheckpoint writes the baseline's training state as JSON to path.
+func (d *DRLBased) SaveCheckpoint(path string) error {
+	return rl.SaveCheckpoint(path, d.Checkpoint())
+}
+
+// LoadCheckpoint restores the baseline's training state from a
+// SaveCheckpoint file.
+func (d *DRLBased) LoadCheckpoint(path string) error {
+	ck, err := rl.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	return d.Restore(ck)
 }

@@ -7,6 +7,7 @@ import (
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
 )
 
 // EqualTime is the Lemma-1 oracle: it computes, in closed form from the
@@ -16,21 +17,28 @@ import (
 // ablation baseline — Chiron must learn without the private information
 // this oracle reads directly.
 type EqualTime struct {
-	env     *edgeenv.Env
-	target  float64
-	episode int
+	env *edgeenv.Env
+	drv *mechanism.Driver
 }
 
 var _ mechanism.Mechanism = (*EqualTime)(nil)
 
 // NewEqualTime builds the oracle. target is the desired round time T in
 // seconds; it must be at least MinFeasibleTime(env) or nodes will be
-// unable to reach it and the slowest node will still define T_k.
+// unable to reach it and the slowest node will still define T_k. The
+// Lemma-1 prices depend only on the static node parameters, so they are
+// computed once here and posted by a static head every round.
 func NewEqualTime(env *edgeenv.Env, target float64) (*EqualTime, error) {
 	if target <= 0 {
 		return nil, fmt.Errorf("baselines: equal-time target %v, want > 0", target)
 	}
-	return &EqualTime{env: env, target: target}, nil
+	head, err := policy.NewStaticHead(PricesForTime(env.Nodes(), target))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: equal-time: %w", err)
+	}
+	e := &EqualTime{env: env}
+	e.drv = mechanism.NewDriver("equal-time", env, staticActor{head: head})
+	return e, nil
 }
 
 // MinFeasibleTime returns the smallest round time every node can reach:
@@ -81,27 +89,6 @@ func (e *EqualTime) Env() *edgeenv.Env { return e.env }
 
 // RunEpisode implements mechanism.Mechanism. The train flag is ignored —
 // the oracle is closed-form.
-func (e *EqualTime) RunEpisode(bool) (mechanism.EpisodeResult, error) {
-	if _, err := e.env.Reset(); err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	prices := PricesForTime(e.env.Nodes(), e.target)
-	ext := mechanism.NewReturns()
-	var innReturn float64
-	for !e.env.Done() {
-		res, err := e.env.Step(prices)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		if res.Done && res.Round.Participants == 0 {
-			break
-		}
-		ext.Add(res.ExteriorReward)
-		innReturn += res.InnerReward
-		if res.Done {
-			break
-		}
-	}
-	e.episode++
-	return mechanism.Summarize(e.env, e.episode, ext, innReturn), nil
+func (e *EqualTime) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
+	return e.drv.RunEpisode(train)
 }

@@ -1,12 +1,14 @@
 package baselines
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
 	"chiron/internal/edgeenv"
-	"chiron/internal/mat"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
+	"chiron/internal/rl"
 )
 
 // GreedyConfig parameterizes the Greedy baseline.
@@ -37,27 +39,28 @@ func (c GreedyConfig) Validate() error {
 	return nil
 }
 
-// scoredAction is one replay-buffer entry.
-type scoredAction struct {
-	prices []float64
-	reward float64
-	tried  bool
-}
-
-// Greedy is the paper's second baseline: it fills a replay buffer with
-// random price vectors, scores them by observed per-round reward, and
-// replays the best-scoring action with probability 1−ε while exploring new
-// random actions with probability ε. It has no learning-time structure and
-// no budget pacing.
+// Greedy is the paper's second baseline: an ε-greedy replay head that fills
+// a buffer with random price vectors, scores them by observed per-round
+// reward, and replays the best-scoring action with probability 1−ε while
+// exploring new random actions with probability ε. It has no learning-time
+// structure and no budget pacing.
 type Greedy struct {
-	cfg     GreedyConfig
-	env     *edgeenv.Env
-	rng     *rand.Rand
-	buffer  []scoredAction
-	episode int
+	cfg  GreedyConfig
+	env  *edgeenv.Env
+	head *policy.ReplayHead
+	drv  *mechanism.Driver
+	src  *rl.CountingSource
+	rng  *rand.Rand
+
+	// lastIdx is the replay entry selected by the latest Decide.
+	lastIdx int
 }
 
-var _ mechanism.Mechanism = (*Greedy)(nil)
+var (
+	_ mechanism.Mechanism    = (*Greedy)(nil)
+	_ mechanism.Actor        = (*Greedy)(nil)
+	_ mechanism.Checkpointer = (*Greedy)(nil)
+)
 
 // NewGreedy builds the baseline bound to env and pre-fills the replay
 // buffer with random actions.
@@ -65,10 +68,16 @@ func NewGreedy(env *edgeenv.Env, cfg GreedyConfig) (*Greedy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Greedy{cfg: cfg, env: env, rng: rand.New(rand.NewSource(cfg.Seed))}
-	for i := 0; i < cfg.WarmupActions; i++ {
-		g.buffer = append(g.buffer, scoredAction{prices: env.RandomPrices(g.rng)})
+	head, err := policy.NewReplayHead(cfg.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: greedy: %w", err)
 	}
+	src := rl.NewCountingSource(cfg.Seed)
+	g := &Greedy{cfg: cfg, env: env, head: head, src: src, rng: rand.New(src)}
+	for i := 0; i < cfg.WarmupActions; i++ {
+		head.Seed(env.RandomPrices(g.rng))
+	}
+	g.drv = mechanism.NewDriver("greedy", env, g)
 	return g, nil
 }
 
@@ -79,85 +88,124 @@ func (g *Greedy) Name() string { return "Greedy" }
 func (g *Greedy) Env() *edgeenv.Env { return g.env }
 
 // BufferSize reports the replay-buffer length (grows with exploration).
-func (g *Greedy) BufferSize() int { return len(g.buffer) }
+func (g *Greedy) BufferSize() int { return g.head.Len() }
 
-// bestIndex returns the index of the highest-reward tried action, or a
-// random untried one when nothing has been scored yet.
-func (g *Greedy) bestIndex() int {
-	best := -1
-	for i := range g.buffer {
-		if !g.buffer[i].tried {
-			continue
-		}
-		if best == -1 || g.buffer[i].reward > g.buffer[best].reward {
-			best = i
-		}
-	}
-	if best == -1 {
-		return g.rng.Intn(len(g.buffer))
-	}
-	return best
+// Episode returns the number of training episodes completed.
+func (g *Greedy) Episode() int { return g.drv.Episode() }
+
+// Decide implements mechanism.Actor.
+func (g *Greedy) Decide(train bool) ([]float64, error) {
+	g.lastIdx = g.head.Select(g.rng, train, func() []float64 {
+		return g.env.RandomPrices(g.rng)
+	})
+	return g.head.Prices(g.lastIdx), nil
 }
+
+// Observe implements mechanism.Actor: with train set the committed round's
+// reward folds into the selected action's score.
+func (g *Greedy) Observe(res edgeenv.StepResult, train bool) error {
+	if train {
+		g.head.Score(g.lastIdx, res.ExteriorReward)
+	}
+	return nil
+}
+
+// Discard implements mechanism.Actor: the discarded round scores nothing.
+func (g *Greedy) Discard(bool) {}
+
+// EndEpisode implements mechanism.Actor: the replay head has no
+// end-of-episode learner work.
+func (g *Greedy) EndEpisode(bool) error { return nil }
 
 // RunEpisode implements mechanism.Mechanism. With train=true the buffer
 // scores update and ε-exploration adds new actions; with train=false the
 // best known action is replayed every round.
 func (g *Greedy) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
-	if _, err := g.env.Reset(); err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	ext := mechanism.NewReturns()
-	var innReturn float64
-	for !g.env.Done() {
-		idx := g.bestIndex()
-		if train && g.rng.Float64() < g.cfg.Epsilon {
-			g.buffer = append(g.buffer, scoredAction{prices: g.env.RandomPrices(g.rng)})
-			idx = len(g.buffer) - 1
-		}
-		prices := mat.CloneVec(g.buffer[idx].prices)
-		res, err := g.env.Step(prices)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		if res.Done && res.Round.Participants == 0 {
-			break
-		}
-		ext.Add(res.ExteriorReward)
-		innReturn += res.InnerReward
-		if train {
-			entry := &g.buffer[idx]
-			if !entry.tried {
-				entry.tried = true
-				entry.reward = res.ExteriorReward
-			} else {
-				// Exponential moving average keeps scores current as the
-				// accuracy curve's marginal returns shrink.
-				entry.reward = 0.9*entry.reward + 0.1*res.ExteriorReward
-			}
-		}
-		if res.Done {
-			break
-		}
-	}
-	g.episode++
-	return mechanism.Summarize(g.env, g.episode, ext, innReturn), nil
+	return g.drv.RunEpisode(train)
 }
 
 // Train runs training episodes, mirroring core.Chiron.Train.
 func (g *Greedy) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
-	if episodes <= 0 {
-		return nil, fmt.Errorf("baselines: train %d episodes, want > 0", episodes)
+	return g.drv.Train(episodes, callback)
+}
+
+// greedyCheckpointMechanism tags Greedy checkpoints in the unified format.
+const greedyCheckpointMechanism = "greedy"
+
+// greedyExtra is the mechanism-specific payload of a Greedy checkpoint.
+type greedyExtra struct {
+	Replay []policy.ScoredAction `json:"replay"`
+}
+
+// Checkpoint captures the baseline's training state in the unified format:
+// the scored replay buffer rides in the Extra payload.
+func (g *Greedy) Checkpoint() (*rl.Checkpoint, error) {
+	extra, err := json.Marshal(greedyExtra{Replay: g.head.Snapshot()})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: marshal greedy replay: %w", err)
 	}
-	results := make([]mechanism.EpisodeResult, 0, episodes)
-	for ep := 0; ep < episodes; ep++ {
-		res, err := g.RunEpisode(true)
-		if err != nil {
-			return results, fmt.Errorf("baselines: greedy episode %d: %w", ep+1, err)
-		}
-		results = append(results, res)
-		if callback != nil {
-			callback(res)
+	rng := g.src.State()
+	return &rl.Checkpoint{
+		Mechanism: greedyCheckpointMechanism,
+		Nodes:     g.env.NumNodes(),
+		Episode:   g.drv.Episode(),
+		RNG:       &rng,
+		Extra:     extra,
+	}, nil
+}
+
+// Restore overwrites the baseline's training state from a checkpoint taken
+// on an identically shaped system.
+func (g *Greedy) Restore(ck *rl.Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("baselines: restore from nil checkpoint")
+	}
+	if ck.Mechanism != "" && ck.Mechanism != greedyCheckpointMechanism {
+		return fmt.Errorf("baselines: checkpoint for mechanism %q, want %q", ck.Mechanism, greedyCheckpointMechanism)
+	}
+	if ck.Nodes != g.env.NumNodes() {
+		return fmt.Errorf("baselines: checkpoint for %d nodes, environment has %d", ck.Nodes, g.env.NumNodes())
+	}
+	if len(ck.Extra) == 0 {
+		return fmt.Errorf("%w: missing greedy replay buffer", rl.ErrCorruptCheckpoint)
+	}
+	var extra greedyExtra
+	if err := json.Unmarshal(ck.Extra, &extra); err != nil {
+		return fmt.Errorf("%w: parse greedy replay: %v", rl.ErrCorruptCheckpoint, err)
+	}
+	for i, a := range extra.Replay {
+		if len(a.Prices) != g.env.NumNodes() {
+			return fmt.Errorf("%w: replay action %d has %d prices, want %d",
+				rl.ErrCorruptCheckpoint, i, len(a.Prices), g.env.NumNodes())
 		}
 	}
-	return results, nil
+	if err := g.head.Restore(extra.Replay); err != nil {
+		return fmt.Errorf("%w: %v", rl.ErrCorruptCheckpoint, err)
+	}
+	g.drv.SetEpisode(ck.Episode)
+	if ck.RNG != nil {
+		if err := g.src.Restore(*ck.RNG); err != nil {
+			return fmt.Errorf("baselines: restore rng: %w", err)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the baseline's training state as JSON to path.
+func (g *Greedy) SaveCheckpoint(path string) error {
+	ck, err := g.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return rl.SaveCheckpoint(path, ck)
+}
+
+// LoadCheckpoint restores the baseline's training state from a
+// SaveCheckpoint file.
+func (g *Greedy) LoadCheckpoint(path string) error {
+	ck, err := rl.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	return g.Restore(ck)
 }

@@ -5,16 +5,29 @@ import (
 
 	"chiron/internal/edgeenv"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
 )
+
+// staticActor adapts a StaticHead to the driver's Actor surface — the
+// shared composition behind the non-learning references (Uniform,
+// EqualTime), which run through the same episode loop as the learners but
+// observe nothing and never update.
+type staticActor struct {
+	head *policy.StaticHead
+}
+
+func (a staticActor) Decide(bool) ([]float64, error)         { return a.head.Prices(), nil }
+func (a staticActor) Observe(edgeenv.StepResult, bool) error { return nil }
+func (a staticActor) Discard(bool)                           {}
+func (a staticActor) EndEpisode(bool) error                  { return nil }
 
 // Uniform is a static reference mechanism: every round it posts the same
 // total price, split equally across nodes. It is not a paper baseline but
 // serves as the ablation floor — any learning mechanism should beat it —
 // and as a deterministic fixture for tests.
 type Uniform struct {
-	env      *edgeenv.Env
-	fraction float64
-	episode  int
+	env *edgeenv.Env
+	drv *mechanism.Driver
 }
 
 var _ mechanism.Mechanism = (*Uniform)(nil)
@@ -25,7 +38,19 @@ func NewUniform(env *edgeenv.Env, fraction float64) (*Uniform, error) {
 	if fraction <= 0 || fraction > 1 {
 		return nil, fmt.Errorf("baselines: uniform fraction %v outside (0,1]", fraction)
 	}
-	return &Uniform{env: env, fraction: fraction}, nil
+	n := env.NumNodes()
+	per := fraction * env.MaxTotalPrice() / float64(n)
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = per
+	}
+	head, err := policy.NewStaticHead(prices)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: uniform: %w", err)
+	}
+	u := &Uniform{env: env}
+	u.drv = mechanism.NewDriver("uniform", env, staticActor{head: head})
+	return u, nil
 }
 
 // Name implements mechanism.Mechanism.
@@ -36,32 +61,6 @@ func (u *Uniform) Env() *edgeenv.Env { return u.env }
 
 // RunEpisode implements mechanism.Mechanism. The train flag is ignored —
 // the mechanism is stateless.
-func (u *Uniform) RunEpisode(bool) (mechanism.EpisodeResult, error) {
-	if _, err := u.env.Reset(); err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	n := u.env.NumNodes()
-	per := u.fraction * u.env.MaxTotalPrice() / float64(n)
-	prices := make([]float64, n)
-	for i := range prices {
-		prices[i] = per
-	}
-	ext := mechanism.NewReturns()
-	var innReturn float64
-	for !u.env.Done() {
-		res, err := u.env.Step(prices)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		if res.Done && res.Round.Participants == 0 {
-			break
-		}
-		ext.Add(res.ExteriorReward)
-		innReturn += res.InnerReward
-		if res.Done {
-			break
-		}
-	}
-	u.episode++
-	return mechanism.Summarize(u.env, u.episode, ext, innReturn), nil
+func (u *Uniform) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
+	return u.drv.RunEpisode(train)
 }

@@ -1,41 +1,36 @@
 package core
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
 
 	"chiron/internal/rl"
 )
 
+// Checkpoint is the unified serializable training state shared by every
+// learnable mechanism; see rl.Checkpoint for the format.
+type Checkpoint = rl.Checkpoint
+
 // ErrCorruptCheckpoint reports a checkpoint file that cannot be restored:
 // truncated mid-write, invalid JSON, or structurally incomplete (missing
-// either agent's snapshot). Callers distinguish it from shape mismatches
-// and I/O errors with errors.Is.
-var ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint")
+// either agent's snapshot). It aliases the unified rl sentinel so callers
+// can errors.Is against either name.
+var ErrCorruptCheckpoint = rl.ErrCorruptCheckpoint
 
-// Checkpoint is the serializable training state of a hierarchical agent:
-// both layers' snapshots plus the episode counter.
-type Checkpoint struct {
-	Exterior *rl.Snapshot `json:"exterior"`
-	Inner    *rl.Snapshot `json:"inner"`
-	Episode  int          `json:"episode"`
-	// Nodes and StateDim pin the environment shape the checkpoint was
-	// trained against, so a mismatched restore fails loudly instead of
-	// silently loading weights into the wrong architecture.
-	Nodes    int `json:"nodes"`
-	StateDim int `json:"state_dim"`
-}
+// checkpointMechanism tags Chiron checkpoints in the unified format.
+const checkpointMechanism = "chiron"
 
-// Checkpoint captures the agent's current training state.
+// Checkpoint captures the agent's current training state: both layers'
+// snapshots and carried buffers, the episode counter, and the mechanism RNG
+// position — everything needed to resume training exactly.
 func (c *Chiron) Checkpoint() *Checkpoint {
+	rng := c.src.State()
 	return &Checkpoint{
-		Exterior: c.exterior.Snapshot(),
-		Inner:    c.inner.Snapshot(),
-		Episode:  c.episode,
-		Nodes:    c.env.NumNodes(),
-		StateDim: c.env.StateDim(),
+		Mechanism: checkpointMechanism,
+		Nodes:     c.env.NumNodes(),
+		StateDim:  c.obs.Dim(),
+		Episode:   c.drv.Episode(),
+		RNG:       &rng,
+		Agents:    []rl.AgentState{rl.PairState(c.pairE), rl.PairState(c.pairI)},
 	}
 }
 
@@ -45,34 +40,37 @@ func (c *Chiron) Restore(ck *Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("core: restore from nil checkpoint")
 	}
-	if ck.Exterior == nil || ck.Inner == nil {
+	if ck.Mechanism != "" && ck.Mechanism != checkpointMechanism {
+		return fmt.Errorf("core: checkpoint for mechanism %q, want %q", ck.Mechanism, checkpointMechanism)
+	}
+	ext, inn := ck.Agent("exterior"), ck.Agent("inner")
+	if ext == nil || ext.Snapshot == nil || inn == nil || inn.Snapshot == nil {
 		return fmt.Errorf("%w: missing agent snapshot (exterior=%v inner=%v)",
-			ErrCorruptCheckpoint, ck.Exterior != nil, ck.Inner != nil)
+			ErrCorruptCheckpoint, ext != nil && ext.Snapshot != nil, inn != nil && inn.Snapshot != nil)
 	}
-	if ck.Nodes != c.env.NumNodes() || ck.StateDim != c.env.StateDim() {
+	if ck.Nodes != c.env.NumNodes() || ck.StateDim != c.obs.Dim() {
 		return fmt.Errorf("core: checkpoint for %d nodes / state dim %d, environment has %d / %d",
-			ck.Nodes, ck.StateDim, c.env.NumNodes(), c.env.StateDim())
+			ck.Nodes, ck.StateDim, c.env.NumNodes(), c.obs.Dim())
 	}
-	if err := c.exterior.Restore(ck.Exterior); err != nil {
+	if err := rl.RestorePair(c.pairE, ext); err != nil {
 		return fmt.Errorf("core: restore exterior: %w", err)
 	}
-	if err := c.inner.Restore(ck.Inner); err != nil {
+	if err := rl.RestorePair(c.pairI, inn); err != nil {
 		return fmt.Errorf("core: restore inner: %w", err)
 	}
-	c.episode = ck.Episode
+	c.drv.SetEpisode(ck.Episode)
+	c.pending = nil
+	if ck.RNG != nil {
+		if err := c.src.Restore(*ck.RNG); err != nil {
+			return fmt.Errorf("core: restore rng: %w", err)
+		}
+	}
 	return nil
 }
 
 // SaveCheckpoint writes the agent's training state as JSON to path.
 func (c *Chiron) SaveCheckpoint(path string) error {
-	data, err := json.Marshal(c.Checkpoint())
-	if err != nil {
-		return fmt.Errorf("core: marshal checkpoint: %w", err)
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("core: write checkpoint: %w", err)
-	}
-	return nil
+	return rl.SaveCheckpoint(path, c.Checkpoint())
 }
 
 // LoadCheckpoint restores the agent's training state from a JSON file
@@ -80,13 +78,9 @@ func (c *Chiron) SaveCheckpoint(path string) error {
 // unparseable fails with an error wrapping ErrCorruptCheckpoint, and the
 // agent's in-memory state is left untouched.
 func (c *Chiron) LoadCheckpoint(path string) error {
-	data, err := os.ReadFile(path)
+	ck, err := rl.LoadCheckpoint(path)
 	if err != nil {
-		return fmt.Errorf("core: read checkpoint: %w", err)
+		return err
 	}
-	var ck Checkpoint
-	if err := json.Unmarshal(data, &ck); err != nil {
-		return fmt.Errorf("%w: parse %s: %v", ErrCorruptCheckpoint, path, err)
-	}
-	return c.Restore(&ck)
+	return c.Restore(ck)
 }

@@ -9,6 +9,10 @@
 // time-consistency decision. Per-node prices are p_{i,k} = a^E_k·a^I_{i,k}
 // (Eqn. 13). Both agents train with clipped-surrogate PPO at episode end,
 // exactly the workflow of Algorithm 1.
+//
+// Chiron is built from the shared agent stack: internal/policy encoders and
+// action heads on top of two internal/rl policy+learner pairs, run by the
+// mechanism.Driver episode loop.
 package core
 
 import (
@@ -18,6 +22,7 @@ import (
 	"chiron/internal/edgeenv"
 	"chiron/internal/mat"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
 	"chiron/internal/rl"
 )
 
@@ -91,47 +96,85 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Chiron is the hierarchical DRL incentive mechanism.
+// Chiron is the hierarchical DRL incentive mechanism: a thin composition of
+// an exterior policy+learner pair (total price, bounded scalar head over
+// the full exterior observation) and an inner pair (allocation proportions,
+// simplex head conditioned on the exterior action).
 type Chiron struct {
-	cfg      Config
-	env      *edgeenv.Env
-	exterior *rl.PPO
-	inner    *rl.PPO
-	bufE     *rl.Buffer
-	bufI     *rl.Buffer
-	rng      *rand.Rand
-	maxTotal float64
-	priceLo  float64 // exterior action range, see New
-	priceHi  float64
-	episode  int
+	cfg       Config
+	env       *edgeenv.Env
+	obs       *policy.Concat             // exterior observation s^E_k
+	cond      policy.ConditioningEncoder // inner observation s^I_k
+	priceHead policy.BoundedScalarHead   // a^E_k → p_total,k
+	allocHead policy.SimplexHead         // a^I_k → pr_{i,k} → p_{i,k}
+	pairE     *rl.Pair
+	pairI     *rl.Pair
+	sched     *rl.Scheduler
+	drv       *mechanism.Driver
+	src       *rl.CountingSource
+	rng       *rand.Rand
+	maxTotal  float64
+	priceLo   float64 // exterior action range, see New
+	priceHi   float64
+
+	// Per-round actor scratch, valid between Decide and Observe/Discard.
+	lastStateE []float64
+	lastD      decision
+	// The inner transition for round k needs round k+1's inner state, so
+	// its commit is delayed by one round (lines 13–15 of Algorithm 1).
+	pending *pendingInner
 }
 
-var _ mechanism.Mechanism = (*Chiron)(nil)
+type pendingInner struct {
+	d decision
+	r float64
+}
+
+var (
+	_ mechanism.Mechanism    = (*Chiron)(nil)
+	_ mechanism.Actor        = (*Chiron)(nil)
+	_ mechanism.Checkpointer = (*Chiron)(nil)
+)
 
 // New builds a Chiron agent bound to env.
 func New(env *edgeenv.Env, cfg Config) (*Chiron, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	exterior, err := rl.NewPPO(rng, env.StateDim(), 1, cfg.Exterior)
+	src := rl.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
+	obs, err := policy.NewExteriorEncoder(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: exterior encoder: %w", err)
+	}
+	exterior, err := rl.NewPPO(rng, obs.Dim(), 1, cfg.Exterior)
 	if err != nil {
 		return nil, fmt.Errorf("core: exterior agent: %w", err)
 	}
-	inner, err := rl.NewPPO(rng, 1, env.NumNodes(), cfg.Inner)
+	inner, err := rl.NewPPO(rng, policy.NewConditioningEncoder(env).Dim(), env.NumNodes(), cfg.Inner)
 	if err != nil {
 		return nil, fmt.Errorf("core: inner agent: %w", err)
 	}
 	c := &Chiron{
 		cfg:      cfg,
 		env:      env,
-		exterior: exterior,
-		inner:    inner,
-		bufE:     &rl.Buffer{},
-		bufI:     &rl.Buffer{},
+		obs:      obs,
+		cond:     policy.NewConditioningEncoder(env),
+		pairE:    rl.NewPair("exterior", exterior, cfg.ExteriorRewardScale),
+		pairI:    rl.NewPair("inner", inner, cfg.InnerRewardScale),
+		src:      src,
 		rng:      rng,
 		maxTotal: env.MaxTotalPrice(),
 	}
+	// Update order is inner before exterior (Algorithm 1 lines 17–27), the
+	// gate watches the exterior buffer, and decay ticks every episode.
+	c.sched = &rl.Scheduler{
+		Pairs:      []*rl.Pair{c.pairI, c.pairE},
+		Gate:       1,
+		MinSamples: cfg.MinUpdateSamples,
+		DecayFirst: true,
+	}
+	c.drv = mechanism.NewDriver("chiron", env, c)
 	// The exterior action is a per-round total price (per unit CPU
 	// frequency). Its meaningful scale is set by the budget: the policy
 	// should be able to pace between "stretch η over up to 2·MaxRounds
@@ -155,6 +198,7 @@ func New(env *edgeenv.Env, cfg Config) (*Chiron, error) {
 	if c.priceLo >= c.priceHi {
 		c.priceLo = c.priceHi / 10
 	}
+	c.priceHead = policy.BoundedScalarHead{Lo: c.priceLo, Hi: c.priceHi}
 	return c, nil
 }
 
@@ -199,13 +243,13 @@ func (c *Chiron) Name() string { return "Chiron" }
 func (c *Chiron) Env() *edgeenv.Env { return c.env }
 
 // Exterior exposes the exterior PPO agent (for checkpointing and tests).
-func (c *Chiron) Exterior() *rl.PPO { return c.exterior }
+func (c *Chiron) Exterior() *rl.PPO { return c.pairE.Agent }
 
 // Inner exposes the inner PPO agent.
-func (c *Chiron) Inner() *rl.PPO { return c.inner }
+func (c *Chiron) Inner() *rl.PPO { return c.pairI.Agent }
 
 // Episode returns the number of training episodes completed.
-func (c *Chiron) Episode() int { return c.episode }
+func (c *Chiron) Episode() int { return c.drv.Episode() }
 
 // decision is the per-round action bundle before environment execution.
 type decision struct {
@@ -223,191 +267,137 @@ func (c *Chiron) decide(stateE []float64, train bool) (decision, error) {
 	var d decision
 	var err error
 	if train {
-		d.actE, d.lpE, err = c.exterior.Act(c.rng, stateE)
+		d.actE, d.lpE, err = c.pairE.Agent.Act(c.rng, stateE)
 	} else {
-		d.actE, err = c.exterior.ActDeterministic(stateE)
+		d.actE, err = c.pairE.Agent.ActDeterministic(stateE)
 	}
 	if err != nil {
 		return decision{}, fmt.Errorf("core: exterior act: %w", err)
 	}
-	d.total = rl.LogSquash(d.actE[0], c.priceLo, c.priceHi)
+	d.total = c.priceHead.Total(d.actE[0])
 	// The exterior action is the inner state (the hierarchy of Fig. 2).
-	d.stateI = []float64{d.total / c.maxTotal}
+	d.stateI = c.cond.State(d.total)
 	if train {
-		d.actI, d.lpI, err = c.inner.Act(c.rng, d.stateI)
+		d.actI, d.lpI, err = c.pairI.Agent.Act(c.rng, d.stateI)
 	} else {
-		d.actI, err = c.inner.ActDeterministic(d.stateI)
+		d.actI, err = c.pairI.Agent.ActDeterministic(d.stateI)
 	}
 	if err != nil {
 		return decision{}, fmt.Errorf("core: inner act: %w", err)
 	}
-	props, err := rl.SimplexProject(d.actI)
+	d.prices, err = c.allocHead.Prices(d.total, d.actI)
 	if err != nil {
 		return decision{}, err
 	}
-	d.prices = make([]float64, len(props))
-	for i, pr := range props {
-		d.prices[i] = d.total * pr
-	}
 	return d, nil
+}
+
+// Decide implements mechanism.Actor.
+func (c *Chiron) Decide(train bool) ([]float64, error) {
+	c.lastStateE = c.obs.State()
+	d, err := c.decide(c.lastStateE, train)
+	if err != nil {
+		return nil, err
+	}
+	c.lastD = d
+	return d.prices, nil
+}
+
+// Observe implements mechanism.Actor: it stores the exterior transition and
+// commits the previous round's delayed inner transition now that its next
+// state (this round's exterior action) is known.
+func (c *Chiron) Observe(res edgeenv.StepResult, train bool) error {
+	if !train {
+		return nil
+	}
+	d := c.lastD
+	c.pairE.Store(rl.Transition{
+		State:     c.lastStateE,
+		Action:    d.actE,
+		Reward:    res.ExteriorReward,
+		NextState: c.obs.State(),
+		Done:      res.Done,
+		LogProb:   d.lpE,
+	})
+	if c.pending != nil {
+		c.pairI.Store(rl.Transition{
+			State:     c.pending.d.stateI,
+			Action:    c.pending.d.actI,
+			Reward:    c.pending.r,
+			NextState: d.stateI,
+			Done:      false,
+			LogProb:   c.pending.d.lpI,
+		})
+	}
+	c.pending = &pendingInner{d: d, r: res.InnerReward}
+	if res.Done {
+		c.flushPending()
+	}
+	return nil
+}
+
+// Discard implements mechanism.Actor: the attempted round was discarded
+// (budget exhausted, Sec. V-A), so no transition is stored for it and the
+// previously committed round was in fact terminal.
+func (c *Chiron) Discard(train bool) {
+	if !train {
+		return
+	}
+	c.pairE.Buf.MarkLastDone()
+	if c.pending != nil {
+		c.pairI.Store(rl.Transition{
+			State:     c.pending.d.stateI,
+			Action:    c.pending.d.actI,
+			Reward:    c.pending.r,
+			NextState: c.lastD.stateI,
+			Done:      true,
+			LogProb:   c.pending.d.lpI,
+		})
+		c.pending = nil
+	}
+}
+
+// flushPending commits a still-queued inner transition as terminal, using
+// its own state as the next state (the episode produced no further round).
+func (c *Chiron) flushPending() {
+	p := c.pending
+	if p == nil {
+		return
+	}
+	c.pairI.Store(rl.Transition{
+		State:     p.d.stateI,
+		Action:    p.d.actI,
+		Reward:    p.r,
+		NextState: p.d.stateI,
+		Done:      true,
+		LogProb:   p.d.lpI,
+	})
+	c.pending = nil
+}
+
+// EndEpisode implements mechanism.Actor: it flushes any queued inner
+// transition and runs the Algorithm 1 end-of-episode schedule — decay every
+// episode, deferred batched PPO updates gated on the exterior buffer.
+func (c *Chiron) EndEpisode(train bool) error {
+	if !train {
+		return nil
+	}
+	c.flushPending()
+	return c.sched.EndEpisode()
 }
 
 // RunEpisode implements mechanism.Mechanism: it plays one full episode and,
 // when train is set, performs the Algorithm 1 end-of-episode PPO updates on
 // both agents and advances the learning-rate decay schedule.
 func (c *Chiron) RunEpisode(train bool) (mechanism.EpisodeResult, error) {
-	stateE, err := c.env.Reset()
-	if err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	ext := mechanism.NewReturns()
-	var innReturn float64
-	// The inner transition for round k needs round k+1's inner state, so
-	// its commit is delayed by one round (lines 13–15 of Algorithm 1).
-	var pending *struct {
-		d decision
-		r float64
-	}
-	for !c.env.Done() {
-		d, err := c.decide(stateE, train)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		res, err := c.env.Step(d.prices)
-		if err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-		nextStateE := c.env.ExteriorState()
-		if res.Done && res.Round.Participants == 0 {
-			// Budget exhausted: the round was discarded, nothing is
-			// recorded (Sec. V-A) and no transition is stored for it. The
-			// previously committed round was therefore terminal.
-			if train {
-				c.bufE.MarkLastDone()
-			}
-			if train && pending != nil {
-				c.bufI.Add(rl.Transition{
-					State:     pending.d.stateI,
-					Action:    pending.d.actI,
-					Reward:    pending.r * c.cfg.InnerRewardScale,
-					NextState: d.stateI,
-					Done:      true,
-					LogProb:   pending.d.lpI,
-				})
-				pending = nil
-			}
-			break
-		}
-		ext.Add(res.ExteriorReward)
-		innReturn += res.InnerReward
-		if train {
-			c.bufE.Add(rl.Transition{
-				State:     stateE,
-				Action:    d.actE,
-				Reward:    res.ExteriorReward * c.cfg.ExteriorRewardScale,
-				NextState: nextStateE,
-				Done:      res.Done,
-				LogProb:   d.lpE,
-			})
-			if pending != nil {
-				c.bufI.Add(rl.Transition{
-					State:     pending.d.stateI,
-					Action:    pending.d.actI,
-					Reward:    pending.r * c.cfg.InnerRewardScale,
-					NextState: d.stateI,
-					Done:      false,
-					LogProb:   pending.d.lpI,
-				})
-			}
-			pending = &struct {
-				d decision
-				r float64
-			}{d: d, r: res.InnerReward}
-			if res.Done {
-				c.bufI.Add(rl.Transition{
-					State:     pending.d.stateI,
-					Action:    pending.d.actI,
-					Reward:    pending.r * c.cfg.InnerRewardScale,
-					NextState: pending.d.stateI,
-					Done:      true,
-					LogProb:   pending.d.lpI,
-				})
-				pending = nil
-			}
-		}
-		stateE = nextStateE
-		if res.Done {
-			break
-		}
-	}
-	// Flush a pending inner transition if the loop exited with one queued
-	// (episode ended on the budget check before the next decision).
-	if train && pending != nil {
-		c.bufI.Add(rl.Transition{
-			State:     pending.d.stateI,
-			Action:    pending.d.actI,
-			Reward:    pending.r * c.cfg.InnerRewardScale,
-			NextState: pending.d.stateI,
-			Done:      true,
-			LogProb:   pending.d.lpI,
-		})
-	}
-
-	c.episode++
-	result := mechanism.Summarize(c.env, c.episode, ext, innReturn)
-	if train {
-		if err := c.update(); err != nil {
-			return mechanism.EpisodeResult{}, err
-		}
-	}
-	return result, nil
-}
-
-// update performs the end-of-episode PPO updates (lines 17–27) and clears
-// both experience buffers. When the exterior buffer is still below
-// MinUpdateSamples the update is deferred and experience keeps
-// accumulating across episodes (the clipped importance ratio handles the
-// slight off-policy staleness).
-func (c *Chiron) update() error {
-	c.exterior.EndEpisode()
-	c.inner.EndEpisode()
-	if c.bufE.Len() < c.cfg.MinUpdateSamples {
-		return nil
-	}
-	if c.bufI.Len() > 0 {
-		if _, err := c.inner.Update(c.bufI); err != nil {
-			return fmt.Errorf("core: inner update: %w", err)
-		}
-	}
-	if c.bufE.Len() > 0 {
-		if _, err := c.exterior.Update(c.bufE); err != nil {
-			return fmt.Errorf("core: exterior update: %w", err)
-		}
-	}
-	c.bufE.Clear()
-	c.bufI.Clear()
-	return nil
+	return c.drv.RunEpisode(train)
 }
 
 // Train runs the Algorithm 1 outer loop for the given number of episodes,
 // invoking callback (if non-nil) after each. It returns the per-episode
 // results, the learning curve of Figs. 3 and 7(a).
 func (c *Chiron) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
-	if episodes <= 0 {
-		return nil, fmt.Errorf("core: train %d episodes, want > 0", episodes)
-	}
-	results := make([]mechanism.EpisodeResult, 0, episodes)
-	for ep := 0; ep < episodes; ep++ {
-		res, err := c.RunEpisode(true)
-		if err != nil {
-			return results, fmt.Errorf("core: episode %d: %w", ep+1, err)
-		}
-		results = append(results, res)
-		if callback != nil {
-			callback(res)
-		}
-	}
-	return results, nil
+	return c.drv.Train(episodes, callback)
 }
 
 // Evaluate plays episodes episodes with deterministic (mean) actions and no
@@ -428,7 +418,7 @@ func EvaluateMechanism(m mechanism.Mechanism, episodes int) (mechanism.EpisodeRe
 // environment state without stepping the environment — useful for
 // inspecting a trained policy.
 func (c *Chiron) PriceVector() ([]float64, error) {
-	d, err := c.decide(c.env.ExteriorState(), false)
+	d, err := c.decide(c.obs.State(), false)
 	if err != nil {
 		return nil, err
 	}

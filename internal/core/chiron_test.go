@@ -75,10 +75,10 @@ func TestAgentDimensions(t *testing.T) {
 func TestPricingRespectsEqn13(t *testing.T) {
 	env := testEnv(t, 3, 200)
 	ch := newTestChiron(t, env)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
-	d, err := ch.decide(env.ExteriorState(), false)
+	d, err := ch.decide(ch.obs.State(), false)
 	if err != nil {
 		t.Fatalf("decide: %v", err)
 	}
@@ -118,13 +118,13 @@ func TestRunEpisodeTrainPopulatesAndClearsBuffers(t *testing.T) {
 	}
 	// Buffers are consumed once MinUpdateSamples transitions accumulate;
 	// keep playing training episodes until an update must have fired.
-	for i := 0; i < 50 && ch.bufE.Len() > 0; i++ {
+	for i := 0; i < 50 && ch.pairE.Buf.Len() > 0; i++ {
 		if _, err := ch.RunEpisode(true); err != nil {
 			t.Fatalf("RunEpisode: %v", err)
 		}
 	}
-	if ch.bufE.Len() != 0 || ch.bufI.Len() != 0 {
-		t.Fatalf("buffers never consumed: E=%d I=%d", ch.bufE.Len(), ch.bufI.Len())
+	if ch.pairE.Buf.Len() != 0 || ch.pairI.Buf.Len() != 0 {
+		t.Fatalf("buffers never consumed: E=%d I=%d", ch.pairE.Buf.Len(), ch.pairI.Buf.Len())
 	}
 }
 
@@ -141,7 +141,7 @@ func TestRunEpisodeEvalDoesNotLearn(t *testing.T) {
 			t.Fatal("eval episode mutated policy parameters")
 		}
 	}
-	if ch.bufE.Len() != 0 {
+	if ch.pairE.Buf.Len() != 0 {
 		t.Fatal("eval episode stored transitions")
 	}
 }
@@ -247,7 +247,7 @@ func TestEvaluateMechanismAverages(t *testing.T) {
 func TestPriceVector(t *testing.T) {
 	env := testEnv(t, 3, 100)
 	ch := newTestChiron(t, env)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices, err := ch.PriceVector()

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"chiron/internal/rl"
 )
 
 func TestLoadCheckpointTruncated(t *testing.T) {
@@ -60,14 +62,19 @@ func TestRestoreRejectsMissingSnapshots(t *testing.T) {
 	ck := ch.Checkpoint()
 
 	missingInner := *ck
-	missingInner.Inner = nil
+	missingInner.Agents = []rl.AgentState{*ck.Agent("exterior")}
 	if err := ch.Restore(&missingInner); !errors.Is(err, ErrCorruptCheckpoint) {
-		t.Fatalf("nil inner: err %v, want ErrCorruptCheckpoint", err)
+		t.Fatalf("missing inner: err %v, want ErrCorruptCheckpoint", err)
 	}
 	missingExterior := *ck
-	missingExterior.Exterior = nil
+	missingExterior.Agents = []rl.AgentState{*ck.Agent("inner")}
 	if err := ch.Restore(&missingExterior); !errors.Is(err, ErrCorruptCheckpoint) {
-		t.Fatalf("nil exterior: err %v, want ErrCorruptCheckpoint", err)
+		t.Fatalf("missing exterior: err %v, want ErrCorruptCheckpoint", err)
+	}
+	nilSnapshot := *ck
+	nilSnapshot.Agents = []rl.AgentState{{Name: "exterior"}, {Name: "inner"}}
+	if err := ch.Restore(&nilSnapshot); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("nil snapshots: err %v, want ErrCorruptCheckpoint", err)
 	}
 	// Structurally empty JSON ({}): parses fine but has no snapshots.
 	path := filepath.Join(t.TempDir(), "empty.json")

@@ -71,10 +71,11 @@ func FuzzCheckpointLoad(f *testing.F) {
 		}
 		// A load that claims success must leave a re-checkpointable agent.
 		ck := ch.Checkpoint()
-		if ck.Exterior == nil || ck.Inner == nil {
+		ext, inn := ck.Agent("exterior"), ck.Agent("inner")
+		if ext == nil || ext.Snapshot == nil || inn == nil || inn.Snapshot == nil {
 			t.Fatalf("successful load left a hollow agent: %+v", ck)
 		}
-		if ck.Nodes != env.NumNodes() || ck.StateDim != env.StateDim() {
+		if ck.Nodes != env.NumNodes() || ck.StateDim != ch.obs.Dim() {
 			t.Fatalf("successful load changed the pinned shape: %+v", ck)
 		}
 	})

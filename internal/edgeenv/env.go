@@ -276,53 +276,29 @@ func (e *Env) MaxTotalPrice() float64 {
 	return sum
 }
 
-// StateDim returns the exterior state dimensionality:
-// 3·N·L history values plus remaining budget and round index.
-func (e *Env) StateDim() int {
-	return 3*len(e.cfg.Nodes)*e.cfg.HistoryLen + 2
+// Norms returns the fleet's state-normalization constants: the maximum
+// ζ_max across the fleet, the per-node price driving the fastest node flat
+// out, and the slowest conceivable round time. The agent stack's
+// observation encoders (internal/policy) divide raw history entries by
+// these so the policy networks stay well conditioned; the state layout
+// itself lives with the encoders, not the environment.
+func (e *Env) Norms() (freq, price, time float64) {
+	return e.freqNorm, e.priceNorm, e.timeNorm
 }
 
-// Reset begins a new episode: the ledger refills, the learning task
-// restarts, and the initial exterior state (all-zero history, full budget,
-// round 1) is returned.
-func (e *Env) Reset() ([]float64, error) {
+// Reset begins a new episode: the ledger refills and the learning task
+// restarts. Observations are produced by the mechanism's encoders
+// (internal/policy), which read the freshly reset ledger on demand.
+func (e *Env) Reset() error {
 	e.ledger.Reset()
 	acc, err := e.cfg.Accuracy.Reset()
 	if err != nil {
-		return nil, fmt.Errorf("edgeenv: reset accuracy: %w", err)
+		return fmt.Errorf("edgeenv: reset accuracy: %w", err)
 	}
 	e.lastAcc = acc
 	e.round = 1
 	e.done = false
-	return e.ExteriorState(), nil
-}
-
-// ExteriorState encodes s^E_k: the most recent L rounds of
-// {ζ, p, T} per node (zero-padded before round L, per the paper), the
-// remaining budget, and the current round index. All values are
-// normalized to keep the policy network well conditioned.
-func (e *Env) ExteriorState() []float64 {
-	n := len(e.cfg.Nodes)
-	l := e.cfg.HistoryLen
-	state := make([]float64, e.StateDim())
-	rounds := e.ledger.Rounds()
-	// Oldest history slot first; missing rounds stay zero.
-	for slot := 0; slot < l; slot++ {
-		idx := len(rounds) - l + slot
-		if idx < 0 {
-			continue
-		}
-		r := &rounds[idx]
-		base := slot * 3 * n
-		for i := 0; i < n; i++ {
-			state[base+i] = r.Freqs[i] / e.freqNorm
-			state[base+n+i] = r.Prices[i] / e.priceNorm
-			state[base+2*n+i] = r.Times[i] / e.timeNorm
-		}
-	}
-	state[3*n*l] = e.ledger.Remaining() / e.ledger.Budget()
-	state[3*n*l+1] = float64(e.round) / float64(e.cfg.MaxRounds)
-	return state
+	return nil
 }
 
 // Step plays one round with the given per-node price vector by driving the

@@ -69,27 +69,11 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestStateDimAndLayout(t *testing.T) {
+func TestNormsArePositive(t *testing.T) {
 	env := testEnv(t, 4, 100)
-	wantDim := 3*4*env.Config().HistoryLen + 2
-	if env.StateDim() != wantDim {
-		t.Fatalf("StateDim = %d, want %d", env.StateDim(), wantDim)
-	}
-	state, err := env.Reset()
-	if err != nil {
-		t.Fatalf("Reset: %v", err)
-	}
-	if len(state) != wantDim {
-		t.Fatalf("state len %d, want %d", len(state), wantDim)
-	}
-	// Fresh episode: zero history, full budget, round 1.
-	for i := 0; i < wantDim-2; i++ {
-		if state[i] != 0 {
-			t.Fatalf("fresh history entry %d = %v, want 0", i, state[i])
-		}
-	}
-	if state[wantDim-2] != 1 {
-		t.Fatalf("budget fraction %v, want 1", state[wantDim-2])
+	fn, pn, tn := env.Norms()
+	if fn <= 0 || pn <= 0 || tn <= 0 {
+		t.Fatalf("Norms = %v, %v, %v, want all > 0", fn, pn, tn)
 	}
 }
 
@@ -102,7 +86,7 @@ func TestStepRequiresReset(t *testing.T) {
 
 func TestStepRejectsWrongPriceCount(t *testing.T) {
 	env := testEnv(t, 3, 100)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	if _, err := env.Step([]float64{1e-9}); err == nil {
@@ -112,7 +96,7 @@ func TestStepRejectsWrongPriceCount(t *testing.T) {
 
 func TestStepAccountingAndRewards(t *testing.T) {
 	env := testEnv(t, 3, 1000)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := fullPrices(env)
@@ -152,7 +136,7 @@ func TestStepAccountingAndRewards(t *testing.T) {
 
 func TestBudgetExhaustionDiscardsRound(t *testing.T) {
 	env := testEnv(t, 3, 5) // tiny budget: first full-price round overruns
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -178,7 +162,7 @@ func TestBudgetExhaustionDiscardsRound(t *testing.T) {
 
 func TestEpisodeTerminatesAtMaxRounds(t *testing.T) {
 	env := testEnv(t, 2, 1e9) // effectively unlimited budget
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := fullPrices(env)
@@ -206,54 +190,20 @@ func TestEpisodeTerminatesAtMaxRounds(t *testing.T) {
 
 func TestResetStartsFresh(t *testing.T) {
 	env := testEnv(t, 2, 100)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	if _, err := env.Step(fullPrices(env)); err != nil {
 		t.Fatalf("Step: %v", err)
 	}
-	state, err := env.Reset()
-	if err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	if env.Ledger().NumRounds() != 0 || env.Round() != 1 {
 		t.Fatal("Reset did not clear episode state")
 	}
-	if state[len(state)-2] != 1 {
-		t.Fatal("Reset did not restore budget fraction")
-	}
-}
-
-func TestExteriorStateEncodesHistory(t *testing.T) {
-	env := testEnv(t, 2, 1000)
-	if _, err := env.Reset(); err != nil {
-		t.Fatalf("Reset: %v", err)
-	}
-	if _, err := env.Step(fullPrices(env)); err != nil {
-		t.Fatalf("Step: %v", err)
-	}
-	state := env.ExteriorState()
-	l := env.Config().HistoryLen
-	n := env.NumNodes()
-	// With one round played, the newest slot (last) must be populated and
-	// all older slots zero.
-	newest := (l - 1) * 3 * n
-	var nonzero bool
-	for i := newest; i < newest+3*n; i++ {
-		if state[i] != 0 {
-			nonzero = true
-		}
-		if state[i] < 0 || state[i] > 1.0001 {
-			t.Fatalf("state[%d] = %v not normalized", i, state[i])
-		}
-	}
-	if !nonzero {
-		t.Fatal("newest history slot empty after a round")
-	}
-	for i := 0; i < newest; i++ {
-		if state[i] != 0 {
-			t.Fatalf("older slot %d populated after one round", i)
-		}
+	if env.Ledger().Remaining() != env.Ledger().Budget() {
+		t.Fatal("Reset did not restore the budget")
 	}
 }
 
@@ -297,7 +247,7 @@ func TestEpisodeSafetyProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if _, err := env.Reset(); err != nil {
+		if err := env.Reset(); err != nil {
 			return false
 		}
 		steps := 0

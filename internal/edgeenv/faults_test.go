@@ -41,7 +41,7 @@ func faultEnv(t *testing.T, nodes int, budget float64, mutate func(*Config)) *En
 func cleanRound(t *testing.T, nodes int, budget float64) market.Round {
 	t.Helper()
 	env := testEnv(t, nodes, budget)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -84,7 +84,7 @@ func TestScriptedCrashEarnsNoPayment(t *testing.T) {
 	env := faultEnv(t, 3, 1000, func(c *Config) {
 		c.Faults = faults.Script{1: {0: {Kind: faults.Crash}}}
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -125,7 +125,7 @@ func TestCrashWaitsOutDeadline(t *testing.T) {
 		c.Faults = faults.Script{1: {0: {Kind: faults.Crash}}}
 		c.RoundDeadline = deadline
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -155,7 +155,7 @@ func TestDeadlineCutsStraggler(t *testing.T) {
 		c.Faults = faults.Script{1: {slowest: {Kind: faults.Straggle, Slowdown: 3}}}
 		c.RoundDeadline = deadline
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -184,7 +184,7 @@ func TestSlowStragglerKeptWithoutDeadline(t *testing.T) {
 	env := faultEnv(t, 3, 1000, func(c *Config) {
 		c.Faults = faults.Script{1: {1: {Kind: faults.Straggle, Slowdown: 3}}}
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -210,7 +210,7 @@ func TestFailurePaymentRefundsFraction(t *testing.T) {
 		c.Faults = faults.Script{1: {0: {Kind: faults.Crash}}}
 		c.FailurePayment = 0.5
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -235,7 +235,7 @@ func TestDropRetriesCostTimeAndExhaustionDropsNode(t *testing.T) {
 		c.MaxRetries = 2
 		c.RetryBackoff = backoff
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -260,7 +260,7 @@ func TestDropRetriesCostTimeAndExhaustionDropsNode(t *testing.T) {
 		c.MaxRetries = 2
 		c.RetryBackoff = backoff
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	if res, err = env.Step(fullPrices(env)); err != nil {
@@ -285,7 +285,7 @@ func TestCorruptUpdateRejectedUnpaid(t *testing.T) {
 	env := faultEnv(t, 3, 1000, func(c *Config) {
 		c.Faults = faults.Script{1: {2: {Kind: faults.Corrupt, Mode: faults.CorruptNaN}}}
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -311,7 +311,7 @@ func TestQuorumFailureHoldsAccuracyButEpisodeContinues(t *testing.T) {
 		c.Faults = faults.Script{1: {0: {Kind: faults.Crash}}}
 		c.MinQuorum = 3
 	})
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))
@@ -384,7 +384,7 @@ func TestBudgetInvariantUnderChurn(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if _, err := env.Reset(); err != nil {
+		if err := env.Reset(); err != nil {
 			return false
 		}
 		steps := 0

@@ -50,7 +50,7 @@ func faultedEpisodeTrace(t *testing.T, seed int64) ([]byte, int) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := make([]float64, env.NumNodes())

@@ -53,7 +53,7 @@ func TestRobustnessConfigValidation(t *testing.T) {
 
 func TestCommJitterVariesRoundTimes(t *testing.T) {
 	env := robustEnv(t, 0.3, 0)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := fullPrices(env)
@@ -88,7 +88,7 @@ func TestCommJitterVariesRoundTimes(t *testing.T) {
 
 func TestCommJitterBoundsRoundTime(t *testing.T) {
 	env := robustEnv(t, 0.25, 0)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := fullPrices(env)
@@ -116,7 +116,7 @@ func TestCommJitterBoundsRoundTime(t *testing.T) {
 
 func TestAvailabilityDropsNodes(t *testing.T) {
 	env := robustEnv(t, 0, 0.5)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	prices := fullPrices(env)
@@ -145,7 +145,7 @@ func TestAvailabilityDropsNodes(t *testing.T) {
 func TestFullAvailabilityMatchesBaseline(t *testing.T) {
 	// Availability 1.0 must behave exactly like the default (always on).
 	env := robustEnv(t, 0, 1.0)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	res, err := env.Step(fullPrices(env))

@@ -1,0 +1,124 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"chiron/internal/edgeenv"
+)
+
+// Actor is the per-round decision surface a mechanism plugs into the shared
+// episode Driver. Implementations compose internal/policy encoders and
+// action heads (and, for learners, internal/rl pairs) — the driver owns the
+// episode loop, reward accumulation, and summary so all five mechanisms
+// share one control flow.
+type Actor interface {
+	// Decide returns the per-node price vector for the current environment
+	// state. With train set, learners sample stochastically and remember
+	// what they need to store the transition in Observe.
+	Decide(train bool) ([]float64, error)
+	// Observe processes a committed (or empty) round's outcome — storing
+	// transitions, scoring replay entries, and so on.
+	Observe(res edgeenv.StepResult, train bool) error
+	// Discard handles the budget-exhaustion terminal: the attempted round
+	// was discarded (Sec. V-A), so the previously committed round was in
+	// fact the final one.
+	Discard(train bool)
+	// EndEpisode runs the actor's end-of-episode learner work (buffer
+	// flushes, PPO updates, decay schedules). Called after the episode
+	// summary for training and evaluation episodes alike.
+	EndEpisode(train bool) error
+}
+
+// Driver runs full episodes of one actor against one environment — the
+// single episode loop behind every mechanism's RunEpisode and Train.
+type Driver struct {
+	name    string
+	env     *edgeenv.Env
+	actor   Actor
+	episode int
+}
+
+// NewDriver binds actor to env. name labels training errors.
+func NewDriver(name string, env *edgeenv.Env, actor Actor) *Driver {
+	return &Driver{name: name, env: env, actor: actor}
+}
+
+// Episode returns the number of episodes completed.
+func (d *Driver) Episode() int { return d.episode }
+
+// SetEpisode overwrites the episode counter (checkpoint restore).
+func (d *Driver) SetEpisode(n int) { d.episode = n }
+
+// RunEpisode plays one full episode: reset, decide/step/observe until the
+// environment terminates, summarize from the ledger, then hand the actor
+// its end-of-episode learner work.
+func (d *Driver) RunEpisode(train bool) (EpisodeResult, error) {
+	if err := d.env.Reset(); err != nil {
+		return EpisodeResult{}, err
+	}
+	ext := NewReturns()
+	var innReturn float64
+	for !d.env.Done() {
+		prices, err := d.actor.Decide(train)
+		if err != nil {
+			return EpisodeResult{}, err
+		}
+		res, err := d.env.Step(prices)
+		if err != nil {
+			return EpisodeResult{}, err
+		}
+		if res.Done && res.Round.Participants == 0 {
+			// Budget exhausted: the round was discarded, nothing is recorded
+			// (Sec. V-A) and no reward is accumulated for it.
+			d.actor.Discard(train)
+			break
+		}
+		ext.Add(res.ExteriorReward)
+		innReturn += res.InnerReward
+		if err := d.actor.Observe(res, train); err != nil {
+			return EpisodeResult{}, err
+		}
+		if res.Done {
+			break
+		}
+	}
+	d.episode++
+	result := Summarize(d.env, d.episode, ext, innReturn)
+	if err := d.actor.EndEpisode(train); err != nil {
+		return EpisodeResult{}, err
+	}
+	return result, nil
+}
+
+// Train runs the outer training loop of Algorithm 1 for the given number of
+// episodes, invoking callback (if non-nil) after each, and returns the
+// per-episode results — the learning curves of Figs. 3 and 7(a).
+func (d *Driver) Train(episodes int, callback func(EpisodeResult)) ([]EpisodeResult, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("mechanism: train %d episodes, want > 0", episodes)
+	}
+	results := make([]EpisodeResult, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		res, err := d.RunEpisode(true)
+		if err != nil {
+			return results, fmt.Errorf("mechanism: %s episode %d: %w", d.name, ep+1, err)
+		}
+		results = append(results, res)
+		if callback != nil {
+			callback(res)
+		}
+	}
+	return results, nil
+}
+
+// Checkpointer is the optional save/load surface the learnable mechanisms
+// implement on top of Mechanism, all sharing the unified rl.Checkpoint
+// format.
+type Checkpointer interface {
+	// SaveCheckpoint writes the mechanism's training state as JSON to path.
+	SaveCheckpoint(path string) error
+	// LoadCheckpoint restores the training state from a SaveCheckpoint file.
+	LoadCheckpoint(path string) error
+	// Episode reports the number of training episodes completed.
+	Episode() int
+}

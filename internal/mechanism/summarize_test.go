@@ -30,7 +30,7 @@ func summarizeEnv(t *testing.T) *edgeenv.Env {
 
 func TestSummarizeMatchesLedger(t *testing.T) {
 	env := summarizeEnv(t)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	// Play a short episode by hand, accumulating the reward streams the
@@ -83,7 +83,7 @@ func TestSummarizeMatchesLedger(t *testing.T) {
 
 func TestSummarizeEmptyEpisode(t *testing.T) {
 	env := summarizeEnv(t)
-	if _, err := env.Reset(); err != nil {
+	if err := env.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	got := Summarize(env, 1, NewReturns(), 0)

@@ -134,6 +134,40 @@ func (a *Adam) SetLR(lr float64) { a.lr = lr }
 // LR implements Optimizer.
 func (a *Adam) LR() float64 { return a.lr }
 
+// State returns a deep copy of the optimizer's moment estimates and step
+// count, for exact-resume checkpointing.
+func (a *Adam) State() (t int, m, v [][]float64) {
+	m = make([][]float64, len(a.m))
+	v = make([][]float64, len(a.v))
+	for i := range a.m {
+		m[i] = append([]float64(nil), a.m[i].Data()...)
+		v[i] = append([]float64(nil), a.v[i].Data()...)
+	}
+	return a.t, m, v
+}
+
+// SetState overwrites the optimizer's moment estimates and step count from
+// a State() capture taken on an identically shaped parameter set.
+func (a *Adam) SetState(t int, m, v [][]float64) error {
+	if t < 0 {
+		return fmt.Errorf("nn: adam state step %d, want >= 0", t)
+	}
+	if len(m) != len(a.m) || len(v) != len(a.v) {
+		return fmt.Errorf("nn: adam state has %d/%d tensors, want %d", len(m), len(v), len(a.m))
+	}
+	for i := range a.m {
+		if len(m[i]) != a.m[i].Size() || len(v[i]) != a.v[i].Size() {
+			return fmt.Errorf("nn: adam state tensor %d has %d/%d values, want %d", i, len(m[i]), len(v[i]), a.m[i].Size())
+		}
+	}
+	a.t = t
+	for i := range a.m {
+		copy(a.m[i].Data(), m[i])
+		copy(a.v[i].Data(), v[i])
+	}
+	return nil
+}
+
 // ExpDecay multiplies the optimizer learning rate by factor every interval
 // steps, the paper's "decays by 95% every 20 episodes" schedule.
 type ExpDecay struct {

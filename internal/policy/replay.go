@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chiron/internal/mat"
+)
+
+// emaKeep/emaNew weight the old and new scores when re-scoring a tried
+// action; the exponential moving average keeps scores current as the
+// accuracy curve's marginal returns shrink. Both are literals (not 1−emaKeep)
+// so the arithmetic is bit-identical to the pre-refactor traces.
+const (
+	emaKeep = 0.9
+	emaNew  = 0.1
+)
+
+// ScoredAction is one replay entry: a price vector with its observed
+// per-round reward score. Fields are exported for checkpoint serialization.
+type ScoredAction struct {
+	Prices []float64 `json:"prices"`
+	Reward float64   `json:"reward"`
+	Tried  bool      `json:"tried"`
+}
+
+// ReplayHead is the ε-greedy action head behind the Greedy baseline: a
+// growing buffer of scored price vectors, replaying the best-scoring one
+// with probability 1−ε and exploring a new random action with probability ε.
+type ReplayHead struct {
+	epsilon float64
+	actions []ScoredAction
+}
+
+// NewReplayHead builds an empty head with exploration probability epsilon.
+func NewReplayHead(epsilon float64) (*ReplayHead, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("policy: replay epsilon %v outside [0,1]", epsilon)
+	}
+	return &ReplayHead{epsilon: epsilon}, nil
+}
+
+// Seed appends an untried warmup action (cloned).
+func (h *ReplayHead) Seed(prices []float64) {
+	h.actions = append(h.actions, ScoredAction{Prices: mat.CloneVec(prices)})
+}
+
+// Len reports the replay-buffer length (grows with exploration).
+func (h *ReplayHead) Len() int { return len(h.actions) }
+
+// bestIndex returns the index of the highest-reward tried action, or a
+// random untried one when nothing has been scored yet.
+func (h *ReplayHead) bestIndex(rng *rand.Rand) int {
+	best := -1
+	for i := range h.actions {
+		if !h.actions[i].Tried {
+			continue
+		}
+		if best == -1 || h.actions[i].Reward > h.actions[best].Reward {
+			best = i
+		}
+	}
+	if best == -1 {
+		return rng.Intn(len(h.actions))
+	}
+	return best
+}
+
+// Select picks the round's action index: the best known action, or — when
+// training — a fresh exploration action from explore with probability ε.
+// The RNG draw order (best-index tiebreak first, then the ε coin) is part
+// of the head's contract; golden traces pin it.
+func (h *ReplayHead) Select(rng *rand.Rand, train bool, explore func() []float64) int {
+	idx := h.bestIndex(rng)
+	if train && rng.Float64() < h.epsilon {
+		h.actions = append(h.actions, ScoredAction{Prices: explore()})
+		idx = len(h.actions) - 1
+	}
+	return idx
+}
+
+// Prices returns a caller-owned copy of action idx's price vector.
+func (h *ReplayHead) Prices(idx int) []float64 {
+	return mat.CloneVec(h.actions[idx].Prices)
+}
+
+// Score folds one observed reward into action idx: first observation sets
+// the score, later ones fold in with an exponential moving average.
+func (h *ReplayHead) Score(idx int, reward float64) {
+	e := &h.actions[idx]
+	if !e.Tried {
+		e.Tried = true
+		e.Reward = reward
+		return
+	}
+	e.Reward = emaKeep*e.Reward + emaNew*reward
+}
+
+// Snapshot returns a deep copy of the replay buffer for checkpointing.
+func (h *ReplayHead) Snapshot() []ScoredAction {
+	out := make([]ScoredAction, len(h.actions))
+	for i, a := range h.actions {
+		out[i] = ScoredAction{Prices: mat.CloneVec(a.Prices), Reward: a.Reward, Tried: a.Tried}
+	}
+	return out
+}
+
+// Restore replaces the replay buffer with a deep copy of actions.
+func (h *ReplayHead) Restore(actions []ScoredAction) error {
+	if len(actions) == 0 {
+		return fmt.Errorf("policy: replay restore with no actions")
+	}
+	h.actions = make([]ScoredAction, len(actions))
+	for i, a := range actions {
+		if len(a.Prices) == 0 {
+			return fmt.Errorf("policy: replay restore action %d has no prices", i)
+		}
+		h.actions[i] = ScoredAction{Prices: mat.CloneVec(a.Prices), Reward: a.Reward, Tried: a.Tried}
+	}
+	return nil
+}

@@ -27,7 +27,7 @@ func TestStepInvariantsProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: RandomEnv: %v", trial, err)
 		}
-		if _, err := env.Reset(); err != nil {
+		if err := env.Reset(); err != nil {
 			t.Fatalf("trial %d: Reset: %v", trial, err)
 		}
 		cfg := env.Config()

@@ -11,6 +11,7 @@ import (
 	"chiron/internal/edgeenv"
 	"chiron/internal/faults"
 	"chiron/internal/mechanism"
+	"chiron/internal/policy"
 	"chiron/internal/rl"
 )
 
@@ -175,7 +176,7 @@ func TestSimplexDecompositionProperty(t *testing.T) {
 		for i := range raw {
 			raw[i] = Uniform(rng, -20, 20)
 		}
-		props, err := rl.SimplexProject(raw)
+		props, err := policy.SimplexProject(raw)
 		if err != nil {
 			t.Fatalf("trial %d: SimplexProject(%v): %v", trial, raw, err)
 		}

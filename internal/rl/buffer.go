@@ -1,8 +1,10 @@
 // Package rl implements the reinforcement-learning machinery of the
 // reproduction: diagonal-Gaussian stochastic policies over internal/nn
 // networks, episode trajectory buffers, and Proximal Policy Optimization
-// with the clipped surrogate objective — the algorithm both Chiron's
-// hierarchical agents and the DRL-based baseline train with.
+// with the clipped surrogate objective — plus the learner core shared by
+// every trainable mechanism (rollout buffers with Reset-reuse, the
+// policy+buffer Pair, the end-of-episode update Scheduler, and unified
+// checkpointing with exact-resume RNG accounting).
 package rl
 
 import "fmt"
@@ -20,24 +22,43 @@ type Transition struct {
 
 // Buffer accumulates the transitions of one or more episodes between PPO
 // updates — the experience replay buffers D^E and D^I of Algorithm 1.
+//
+// Add copies the caller's slices into recycled per-slot storage, so a
+// buffer that is Reset between episodes reaches a steady state where
+// storing a transition allocates nothing.
 type Buffer struct {
 	transitions []Transition
 }
 
-// Add appends a transition.
+// Add appends a copy of t, reusing a recycled slot's backing slices when
+// one is available from an earlier Reset.
 func (b *Buffer) Add(t Transition) {
-	b.transitions = append(b.transitions, t)
+	var slot *Transition
+	if len(b.transitions) < cap(b.transitions) {
+		b.transitions = b.transitions[:len(b.transitions)+1]
+		slot = &b.transitions[len(b.transitions)-1]
+	} else {
+		b.transitions = append(b.transitions, Transition{})
+		slot = &b.transitions[len(b.transitions)-1]
+	}
+	slot.State = append(slot.State[:0], t.State...)
+	slot.Action = append(slot.Action[:0], t.Action...)
+	slot.NextState = append(slot.NextState[:0], t.NextState...)
+	slot.Reward = t.Reward
+	slot.Done = t.Done
+	slot.LogProb = t.LogProb
 }
 
 // Len reports the number of stored transitions.
 func (b *Buffer) Len() int { return len(b.transitions) }
 
 // Transitions returns the stored transitions (shared slice; callers must
-// not mutate).
+// not mutate, and the slots are recycled by the next Reset).
 func (b *Buffer) Transitions() []Transition { return b.transitions }
 
-// Clear empties the buffer, retaining capacity.
-func (b *Buffer) Clear() { b.transitions = b.transitions[:0] }
+// Reset empties the buffer, retaining both the slice capacity and every
+// slot's backing arrays for reuse by subsequent Adds.
+func (b *Buffer) Reset() { b.transitions = b.transitions[:0] }
 
 // MarkLastDone flags the most recent transition as terminal. Mechanisms
 // call this when the episode ends on the budget check: the attempted round

@@ -1,0 +1,117 @@
+package rl
+
+import "fmt"
+
+// Pair couples a PPO learner with its rollout buffer and reward
+// conditioning — one "policy+learner pair" of the unified agent stack.
+// Chiron composes two (exterior and inner), the DRL-based baseline one.
+type Pair struct {
+	// Name identifies the pair in checkpoints ("exterior", "inner", ...).
+	Name string
+	// Agent is the PPO learner.
+	Agent *PPO
+	// Buf is the pair's rollout buffer.
+	Buf *Buffer
+	// RewardScale rescales rewards to O(1) before they enter the buffer
+	// (learner conditioning only; reported metrics stay in paper units).
+	RewardScale float64
+}
+
+// NewPair builds a pair with an empty buffer.
+func NewPair(name string, agent *PPO, rewardScale float64) *Pair {
+	return &Pair{Name: name, Agent: agent, Buf: &Buffer{}, RewardScale: rewardScale}
+}
+
+// Store scales t's reward by RewardScale and adds it to the buffer.
+func (p *Pair) Store(t Transition) {
+	t.Reward = t.Reward * p.RewardScale
+	p.Buf.Add(t)
+}
+
+// Scheduler runs the end-of-episode learner work for a set of pairs: the
+// learning-rate decay ticks, the MinSamples batching gate, the PPO updates
+// in pair order, and the buffer resets. The two decay orders in the zoo are
+// both modeled exactly because they are numerically distinct (the learning
+// rate in force during an update differs):
+//
+//   - DecayFirst (Chiron, Algorithm 1 lines 17–27): every agent's decay
+//     schedule advances each episode; when the gate buffer is still below
+//     MinSamples the update is deferred and experience keeps accumulating
+//     across episodes (the clipped importance ratio handles the slight
+//     off-policy staleness).
+//   - update-then-decay (the DRL-based baseline): nothing happens on an
+//     episode that produced no samples; otherwise update, reset, and only
+//     then tick the decay schedule.
+type Scheduler struct {
+	// Pairs is the update order (Chiron: inner before exterior).
+	Pairs []*Pair
+	// Gate selects the pair whose buffer length is compared against
+	// MinSamples; negative gates on the last pair.
+	Gate int
+	// MinSamples defers updates until the gate buffer holds at least this
+	// many transitions, batching consecutive short episodes together. In
+	// update-then-decay mode it is raised to 1, the "any samples at all"
+	// gate.
+	MinSamples int
+	// DecayFirst selects the Chiron ordering above.
+	DecayFirst bool
+}
+
+// gateLen reports the gate buffer's current length.
+func (s *Scheduler) gateLen() int {
+	g := s.Gate
+	if g < 0 || g >= len(s.Pairs) {
+		g = len(s.Pairs) - 1
+	}
+	return s.Pairs[g].Buf.Len()
+}
+
+// EndEpisode runs the configured end-of-episode schedule once.
+func (s *Scheduler) EndEpisode() error {
+	if len(s.Pairs) == 0 {
+		return fmt.Errorf("rl: scheduler with no pairs")
+	}
+	if s.DecayFirst {
+		for _, p := range s.Pairs {
+			p.Agent.EndEpisode()
+		}
+		if s.gateLen() < s.MinSamples {
+			return nil
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		return nil
+	}
+	need := s.MinSamples
+	if need < 1 {
+		need = 1
+	}
+	if s.gateLen() < need {
+		return nil
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	for _, p := range s.Pairs {
+		p.Agent.EndEpisode()
+	}
+	return nil
+}
+
+// flush updates every pair with a non-empty buffer, in pair order, then
+// resets all buffers.
+func (s *Scheduler) flush() error {
+	for _, p := range s.Pairs {
+		if p.Buf.Len() == 0 {
+			continue
+		}
+		if _, err := p.Agent.Update(p.Buf); err != nil {
+			return fmt.Errorf("rl: %s update: %w", p.Name, err)
+		}
+	}
+	for _, p := range s.Pairs {
+		p.Buf.Reset()
+	}
+	return nil
+}

@@ -161,40 +161,3 @@ func (p *GaussianPolicy) Entropy() float64 {
 	}
 	return h
 }
-
-// Squash maps an unbounded pre-squash value into (lo, hi) via a sigmoid —
-// the transform Chiron applies to the exterior total-price action.
-func Squash(u, lo, hi float64) float64 {
-	return lo + (hi-lo)/(1+math.Exp(-u))
-}
-
-// LogSquash maps an unbounded pre-squash value into [lo, hi] on a
-// logarithmic scale: u=0 lands on the geometric mean √(lo·hi). Prices span
-// orders of magnitude, so the log parametrization gives the policy equal
-// resolution across the whole range and starts exploration near the middle
-// of the *multiplicative* range instead of half the maximum. lo must be
-// positive.
-func LogSquash(u, lo, hi float64) float64 {
-	logLo, logHi := math.Log(lo), math.Log(hi)
-	return math.Exp(logLo + (logHi-logLo)/(1+math.Exp(-u)))
-}
-
-// SquashVec applies Squash elementwise, returning a new slice.
-func SquashVec(u []float64, lo, hi float64) []float64 {
-	out := make([]float64, len(u))
-	for i, v := range u {
-		out[i] = Squash(v, lo, hi)
-	}
-	return out
-}
-
-// SimplexProject maps an unbounded pre-squash vector onto the probability
-// simplex via softmax — the transform Chiron applies to the inner
-// allocation-proportion action.
-func SimplexProject(u []float64) ([]float64, error) {
-	out, err := mat.Softmax(nil, u)
-	if err != nil {
-		return nil, fmt.Errorf("rl: simplex project: %w", err)
-	}
-	return out, nil
-}

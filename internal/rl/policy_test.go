@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand"
 	"testing"
-	"testing/quick"
 )
 
 func TestGaussianPolicyValidation(t *testing.T) {
@@ -108,61 +107,6 @@ func TestEntropyIncreasesWithStd(t *testing.T) {
 	}
 }
 
-func TestSquash(t *testing.T) {
-	if got := Squash(0, 0, 10); math.Abs(got-5) > 1e-12 {
-		t.Fatalf("Squash(0) = %v, want 5", got)
-	}
-	if got := Squash(100, 2, 8); math.Abs(got-8) > 1e-6 {
-		t.Fatalf("Squash(+inf-ish) = %v, want 8", got)
-	}
-	if got := Squash(-100, 2, 8); math.Abs(got-2) > 1e-6 {
-		t.Fatalf("Squash(-inf-ish) = %v, want 2", got)
-	}
-	v := SquashVec([]float64{-100, 0, 100}, 0, 1)
-	if v[0] > 0.001 || math.Abs(v[1]-0.5) > 1e-12 || v[2] < 0.999 {
-		t.Fatalf("SquashVec = %v", v)
-	}
-}
-
-// Property: Squash always lands strictly inside (lo, hi) for finite input
-// and is monotone.
-func TestSquashProperty(t *testing.T) {
-	f := func(u1, u2 float64) bool {
-		if math.IsNaN(u1) || math.IsNaN(u2) || math.Abs(u1) > 500 || math.Abs(u2) > 500 {
-			return true
-		}
-		lo, hi := 1.0, 4.0
-		a, b := Squash(u1, lo, hi), Squash(u2, lo, hi)
-		if a < lo || a > hi || b < lo || b > hi {
-			return false
-		}
-		if u1 < u2 && a > b {
-			return false
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSimplexProject(t *testing.T) {
-	props, err := SimplexProject([]float64{1, 2, 3})
-	if err != nil {
-		t.Fatalf("SimplexProject: %v", err)
-	}
-	var sum float64
-	for _, p := range props {
-		if p <= 0 {
-			t.Fatalf("proportion %v <= 0", p)
-		}
-		sum += p
-	}
-	if math.Abs(sum-1) > 1e-12 {
-		t.Fatalf("proportions sum to %v", sum)
-	}
-}
-
 func TestBufferValidation(t *testing.T) {
 	var b Buffer
 	if err := b.Validate(); err == nil {
@@ -176,9 +120,9 @@ func TestBufferValidation(t *testing.T) {
 	if err := b.Validate(); err == nil {
 		t.Fatal("inconsistent buffer validated")
 	}
-	b.Clear()
+	b.Reset()
 	if b.Len() != 0 {
-		t.Fatal("Clear failed")
+		t.Fatal("Reset failed")
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"chiron/internal/policy"
 )
 
 func TestPPOConfigValidation(t *testing.T) {
@@ -87,7 +89,7 @@ func ppoBanditEpisode(rng *rand.Rand, agent *PPO, target float64) (*Buffer, floa
 	var total float64
 	for i := 0; i < 16; i++ {
 		act, lp, _ := agent.Act(rng, state)
-		a := Squash(act[0], 0, 1)
+		a := policy.Squash(act[0], 0, 1)
 		r := -(a - target) * (a - target)
 		total += r
 		buf.Add(Transition{
@@ -130,7 +132,7 @@ func TestPPOLearnsBandit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ActDeterministic: %v", err)
 	}
-	if got := Squash(act[0], 0, 1); math.Abs(got-target) > 0.2 {
+	if got := policy.Squash(act[0], 0, 1); math.Abs(got-target) > 0.2 {
 		t.Fatalf("learned action %v, want ≈%v", got, target)
 	}
 }

@@ -1,0 +1,77 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RNGState is the serializable position of a counting RNG source: the seed
+// plus the number of draws consumed since seeding. Together they identify
+// the generator's exact state without serializing its internals.
+type RNGState struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// CountingSource wraps the standard math/rand source with a draw counter.
+// Every source call (Int63 or Uint64) advances the underlying generator by
+// exactly one step, so {Seed, Draws} reconstructs the state exactly: reseed
+// and discard Draws values. Mechanisms feed a CountingSource to rand.New so
+// their checkpoints can resume the action-sampling stream bit-identically —
+// the wrapped stream is the same one rand.NewSource(seed) produces.
+//
+// It is not safe for concurrent use, matching math/rand sources.
+type CountingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+var _ rand.Source64 = (*CountingSource)(nil)
+
+// NewCountingSource returns a counting source seeded like
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, restarting the draw counter.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.draws = 0
+}
+
+// State reports the source's serializable position.
+func (s *CountingSource) State() RNGState {
+	return RNGState{Seed: s.seed, Draws: s.draws}
+}
+
+// Restore repositions the source at st by reseeding and discarding
+// st.Draws values — after it, the source produces exactly the stream it
+// would have produced had it run uninterrupted.
+func (s *CountingSource) Restore(st RNGState) error {
+	src, ok := rand.NewSource(st.Seed).(rand.Source64)
+	if !ok {
+		return fmt.Errorf("rl: rand source is not a Source64")
+	}
+	for i := uint64(0); i < st.Draws; i++ {
+		src.Uint64()
+	}
+	s.src = src
+	s.seed = st.Seed
+	s.draws = st.Draws
+	return nil
+}

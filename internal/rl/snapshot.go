@@ -6,34 +6,48 @@ import (
 	"chiron/internal/nn"
 )
 
-// Snapshot is a serializable copy of a PPO agent's learnable state: every
-// actor parameter tensor (including the log-std vector), every critic
-// parameter tensor, and the optimizer's episode/learning-rate position in
-// the decay schedule. Adam moment estimates are deliberately not captured:
-// a restored agent restarts its optimizer, which is the conventional
-// checkpoint semantic for evaluation and fine-tuning.
-type Snapshot struct {
-	Actor    [][]float64 `json:"actor"`
-	Critic   [][]float64 `json:"critic"`
-	Episode  int         `json:"episode"`
-	ActorLR  float64     `json:"actor_lr"`
-	CriticLR float64     `json:"critic_lr"`
+// OptState is a serializable copy of an Adam optimizer's position: the step
+// count and both moment estimates per parameter tensor.
+type OptState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"`
+	V [][]float64 `json:"v"`
 }
 
-// Snapshot captures the agent's current learnable state.
+// Snapshot is a serializable copy of a PPO agent's learnable state: every
+// actor parameter tensor (including the log-std vector), every critic
+// parameter tensor, the optimizer's episode/learning-rate position in the
+// decay schedule, and — when captured for exact resume — both optimizers'
+// Adam moment estimates. Snapshots without optimizer state (older captures)
+// restore with the conventional semantic of restarting the optimizer.
+type Snapshot struct {
+	Actor     [][]float64 `json:"actor"`
+	Critic    [][]float64 `json:"critic"`
+	Episode   int         `json:"episode"`
+	ActorLR   float64     `json:"actor_lr"`
+	CriticLR  float64     `json:"critic_lr"`
+	ActorOpt  *OptState   `json:"actor_opt,omitempty"`
+	CriticOpt *OptState   `json:"critic_opt,omitempty"`
+}
+
+// Snapshot captures the agent's current learnable state, including the
+// Adam moments needed to resume training bit-identically.
 func (p *PPO) Snapshot() *Snapshot {
 	return &Snapshot{
-		Actor:    copyParams(p.actor.Params()),
-		Critic:   copyParams(p.critic.Params()),
-		Episode:  p.episode,
-		ActorLR:  p.optA.LR(),
-		CriticLR: p.optC.LR(),
+		Actor:     copyParams(p.actor.Params()),
+		Critic:    copyParams(p.critic.Params()),
+		Episode:   p.episode,
+		ActorLR:   p.optA.LR(),
+		CriticLR:  p.optC.LR(),
+		ActorOpt:  captureOpt(p.optA),
+		CriticOpt: captureOpt(p.optC),
 	}
 }
 
 // Restore overwrites the agent's learnable state from a snapshot taken on
-// an identically configured agent. The optimizers keep their moment state
-// but adopt the snapshot's learning rates and episode position.
+// an identically configured agent. The optimizers adopt the snapshot's
+// learning rates, episode position, and — when present — Adam moments;
+// snapshots without optimizer state leave the moments untouched.
 func (p *PPO) Restore(s *Snapshot) error {
 	if s == nil {
 		return fmt.Errorf("rl: restore from nil snapshot")
@@ -44,6 +58,16 @@ func (p *PPO) Restore(s *Snapshot) error {
 	if err := loadParams(p.critic.Params(), s.Critic); err != nil {
 		return fmt.Errorf("rl: restore critic: %w", err)
 	}
+	if s.ActorOpt != nil {
+		if err := p.optA.SetState(s.ActorOpt.T, s.ActorOpt.M, s.ActorOpt.V); err != nil {
+			return fmt.Errorf("rl: restore actor optimizer: %w", err)
+		}
+	}
+	if s.CriticOpt != nil {
+		if err := p.optC.SetState(s.CriticOpt.T, s.CriticOpt.M, s.CriticOpt.V); err != nil {
+			return fmt.Errorf("rl: restore critic optimizer: %w", err)
+		}
+	}
 	p.episode = s.Episode
 	if s.ActorLR > 0 {
 		p.optA.SetLR(s.ActorLR)
@@ -53,6 +77,11 @@ func (p *PPO) Restore(s *Snapshot) error {
 	}
 	p.actor.ClampLogStd()
 	return nil
+}
+
+func captureOpt(a *nn.Adam) *OptState {
+	t, m, v := a.State()
+	return &OptState{T: t, M: m, V: v}
 }
 
 func copyParams(params []nn.Param) [][]float64 {
