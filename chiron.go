@@ -36,6 +36,7 @@ import (
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
 	"chiron/internal/experiment"
+	"chiron/internal/faults"
 	"chiron/internal/fl"
 	"chiron/internal/market"
 	"chiron/internal/mechanism"
@@ -85,6 +86,21 @@ type (
 	// GreedyConfig parameterizes the Greedy baseline.
 	GreedyConfig = baselines.GreedyConfig
 
+	// ChurnSchedule decides fleet membership per round: which nodes are
+	// present at a round's offer and which depart mid-round.
+	ChurnSchedule = faults.ChurnSchedule
+	// ChurnScript is an explicit scripted arrival/departure plan.
+	ChurnScript = faults.ChurnScript
+	// ChurnEvent is one scripted arrival or departure.
+	ChurnEvent = faults.ChurnEvent
+	// ChurnRates parameterizes the seed-deterministic Markov churn sampler.
+	ChurnRates = faults.ChurnRates
+	// ChurnSampler draws per-node membership chains from ChurnRates.
+	ChurnSampler = faults.ChurnSampler
+	// Backoff is the unified retry/backoff policy (upload retries, crash
+	// restarts).
+	Backoff = faults.Backoff
+
 	// AccuracyModel produces the A(ω_k) trajectory of a learning task.
 	AccuracyModel = accuracy.Model
 	// SurrogateCurve is the calibrated analytic accuracy model.
@@ -111,6 +127,22 @@ type (
 	// Convergence is a learning-curve run's results.
 	Convergence = experiment.Convergence
 )
+
+// ParseChurnScript parses the compact churn-plan notation: "+NODE@ROUND"
+// schedules an arrival, "-NODE@ROUND" a departure, separated by commas,
+// semicolons, or whitespace (e.g. "-3@5,+3@9" departs node 3 at round 5
+// and returns it at round 9). A node whose first event is an arrival
+// starts outside the fleet.
+func ParseChurnScript(spec string) (*ChurnScript, error) {
+	return faults.ParseChurnScript(spec)
+}
+
+// NewChurnSampler builds the seed-deterministic Markov churn schedule:
+// each present node departs with rates.Depart per round, each absent node
+// returns with rates.Arrive.
+func NewChurnSampler(rates ChurnRates, seed int64) (*ChurnSampler, error) {
+	return faults.NewChurnSampler(rates, seed)
+}
 
 // Dataset identifies one of the paper's three evaluation tasks.
 type Dataset int

@@ -6,6 +6,8 @@
 //
 //	chiron train   [-nodes N] [-budget η] [-dataset mnist|fashion|cifar]
 //	               [-episodes E] [-seed S] [-real] [-baseline chiron|drl|greedy]
+//	               [-churn SCRIPT] [-depart-rate P] [-arrive-rate P]
+//	               [-auto-checkpoint DIR] [-checkpoint-every N] [-max-restarts R]
 //	chiron run     [-artifact fig3|fig4|fig5|fig6|fig7a|fig7b|tab1] [-scale F] [-jobs N]
 //	chiron list
 package main
@@ -18,6 +20,7 @@ import (
 
 	"chiron"
 	"chiron/internal/mechanism"
+	"chiron/internal/supervise"
 	"chiron/internal/trace"
 )
 
@@ -59,40 +62,70 @@ func cmdTrain(args []string) error {
 	save := fs.String("save", "", "write the trained mechanism checkpoint to this path (any learnable mechanism)")
 	load := fs.String("load", "", "restore a mechanism checkpoint before training/evaluation")
 	tracePath := fs.String("trace", "", "write a JSONL training trace (round + episode records) to this path")
+	churnSpec := fs.String("churn", "", "scripted churn plan, e.g. \"-3@5,+3@9\" (overrides the churn rates)")
+	departRate := fs.Float64("depart-rate", 0, "per-round probability a fleet member departs")
+	arriveRate := fs.Float64("arrive-rate", 0, "per-round probability a departed node rejoins")
+	autoCkpt := fs.String("auto-checkpoint", "", "supervise training with periodic checkpoints in this directory, resuming from the newest valid one")
+	ckptEvery := fs.Int("checkpoint-every", 10, "episodes between auto-checkpoints (with -auto-checkpoint)")
+	maxRestarts := fs.Int("max-restarts", 3, "crash recoveries before the supervised run gives up (with -auto-checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *autoCkpt != "" && *load != "" {
+		return fmt.Errorf("-load conflicts with -auto-checkpoint (the supervisor resumes from its own directory)")
 	}
 
 	ds, err := parseDataset(*datasetName)
 	if err != nil {
 		return err
 	}
-	sys, err := chiron.NewSystem(chiron.SystemConfig{
-		Nodes:        *nodes,
-		Dataset:      ds,
-		Budget:       *budget,
-		Seed:         *seed,
-		RealTraining: *real,
-		Workers:      *workers,
-	})
+	var churn chiron.ChurnSchedule
+	switch {
+	case *churnSpec != "":
+		script, err := chiron.ParseChurnScript(*churnSpec)
+		if err != nil {
+			return err
+		}
+		if err := script.Validate(*nodes); err != nil {
+			return err
+		}
+		churn = script
+	case *departRate != 0 || *arriveRate != 0:
+		churn, err = chiron.NewChurnSampler(chiron.ChurnRates{Depart: *departRate, Arrive: *arriveRate}, *seed+2)
+		if err != nil {
+			return err
+		}
+	}
+	// buildMechanism assembles a fresh system and mechanism from scratch —
+	// called once for a plain run, once per recovery attempt when the
+	// supervisor restarts a crashed run.
+	buildMechanism := func() (chiron.Mechanism, error) {
+		sys, err := chiron.NewSystem(chiron.SystemConfig{
+			Nodes:        *nodes,
+			Dataset:      ds,
+			Budget:       *budget,
+			Seed:         *seed,
+			RealTraining: *real,
+			Workers:      *workers,
+			Churn:        churn,
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch *baseline {
+		case "chiron":
+			return sys.Agent(), nil
+		case "drl":
+			return sys.NewBaselineDRL()
+		case "greedy":
+			return sys.NewBaselineGreedy()
+		default:
+			return nil, fmt.Errorf("unknown baseline %q (want chiron, drl, or greedy)", *baseline)
+		}
+	}
+	m, err := buildMechanism()
 	if err != nil {
 		return err
-	}
-
-	var m chiron.Mechanism
-	switch *baseline {
-	case "chiron":
-		m = sys.Agent()
-	case "drl":
-		if m, err = sys.NewBaselineDRL(); err != nil {
-			return err
-		}
-	case "greedy":
-		if m, err = sys.NewBaselineGreedy(); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown baseline %q (want chiron, drl, or greedy)", *baseline)
 	}
 
 	if *load != "" {
@@ -140,23 +173,54 @@ func cmdTrain(args []string) error {
 			}
 		}
 	}
-	tr, ok := m.(mechanism.Trainable)
-	if !ok {
-		return fmt.Errorf("mechanism %s is not trainable", m.Name())
+	if *autoCkpt != "" {
+		runner, err := supervise.New(func() (supervise.Target, error) {
+			fresh, err := buildMechanism()
+			if err != nil {
+				return nil, err
+			}
+			target, ok := fresh.(supervise.Target)
+			if !ok {
+				return nil, fmt.Errorf("mechanism %s cannot be supervised (needs training + checkpoints)", fresh.Name())
+			}
+			// Point the trace/eval plumbing at the live attempt.
+			m = fresh
+			return target, nil
+		}, supervise.Config{
+			Dir:   *autoCkpt,
+			Every: *ckptEvery,
+			Retry: chiron.Backoff{Base: 1, Factor: 2, Max: 30, MaxRetries: *maxRestarts},
+		})
+		if err != nil {
+			return err
+		}
+		_, report, err := runner.Run(*episodes, callback)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("supervised run: resumed from episode %d, %d checkpoints, %d restarts, %d corrupt checkpoints skipped\n",
+			report.ResumedFrom, report.Checkpoints, report.Restarts, report.CorruptSkipped)
+	} else {
+		tr, ok := m.(mechanism.Trainable)
+		if !ok {
+			return fmt.Errorf("mechanism %s is not trainable", m.Name())
+		}
+		if _, err := tr.Train(*episodes, callback); err != nil {
+			return err
+		}
 	}
-	if _, err := tr.Train(*episodes, callback); err != nil {
-		return err
+	if *evalEpisodes > 0 {
+		res, err := mechanism.Evaluate(m, *evalEpisodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nevaluation over %d deterministic episodes:\n", *evalEpisodes)
+		fmt.Printf("  final accuracy : %.3f\n", res.FinalAccuracy)
+		fmt.Printf("  rounds         : %d\n", res.Rounds)
+		fmt.Printf("  time efficiency: %.1f%%\n", 100*res.TimeEfficiency)
+		fmt.Printf("  budget spent   : %.1f / %.0f\n", res.BudgetSpent, *budget)
+		fmt.Printf("  server utility : %.1f\n", res.ServerUtility)
 	}
-	res, err := mechanism.Evaluate(m, *evalEpisodes)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nevaluation over %d deterministic episodes:\n", *evalEpisodes)
-	fmt.Printf("  final accuracy : %.3f\n", res.FinalAccuracy)
-	fmt.Printf("  rounds         : %d\n", res.Rounds)
-	fmt.Printf("  time efficiency: %.1f%%\n", 100*res.TimeEfficiency)
-	fmt.Printf("  budget spent   : %.1f / %.0f\n", res.BudgetSpent, *budget)
-	fmt.Printf("  server utility : %.1f\n", res.ServerUtility)
 	if *save != "" {
 		agent, ok := m.(mechanism.Checkpointer)
 		if !ok {

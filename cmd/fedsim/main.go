@@ -11,6 +11,7 @@
 //	       [-server-momentum B] [-samples S] [-hidden H] [-seed S]
 //	       [-crash-rate P] [-corrupt-rate P] [-drop-rate P]
 //	       [-max-retries R] [-min-quorum Q] [-max-delta-norm D]
+//	       [-depart-rate P] [-arrive-rate P] [-churn SCRIPT]
 //	       [-fault-seed S] [-workers W]
 //
 // The fault flags drive the failure-hardened round pipeline: clients crash
@@ -19,6 +20,14 @@
 // unreliable channel retried up to max-retries times (drop-rate). Rounds
 // where fewer than min-quorum sanitized updates survive leave the global
 // model untouched instead of aborting the run.
+//
+// The churn flags add fleet membership on top: clients leave and rejoin
+// the pool either by seed-deterministic Markov rates (-depart-rate /
+// -arrive-rate) or by an explicit scripted plan (-churn "-3@5,+3@9" departs
+// client 3 at round 5 and returns it at round 9). A client outside the
+// pool is skipped even when sampled; a client departing mid-round vanishes
+// before its upload lands, exactly like a crash. All churn flags default
+// off, so existing seeds reproduce their golden digests bit-for-bit.
 package main
 
 import (
@@ -88,6 +97,9 @@ func run(args []string, w io.Writer) error {
 	maxRetries := fs.Int("max-retries", 2, "re-upload attempts before a dropped client is abandoned for the round")
 	minQuorum := fs.Int("min-quorum", 1, "minimum sanitized updates required to advance the global model")
 	maxDeltaNorm := fs.Float64("max-delta-norm", 1e6, "reject updates farther than this L2 distance from the global model (0 disables)")
+	departRate := fs.Float64("depart-rate", 0, "per-round probability a pool member departs the fleet")
+	arriveRate := fs.Float64("arrive-rate", 0, "per-round probability a departed client rejoins the fleet")
+	churnSpec := fs.String("churn", "", "scripted churn plan, e.g. \"-3@5,+3@9\" (overrides the churn rates)")
 	faultSeed := fs.Int64("fault-seed", 0, "seed of the fault schedule (0 = derive from -seed)")
 	workers := fs.Int("workers", 0, "matrix-kernel worker count (0 = GOMAXPROCS); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
@@ -178,6 +190,24 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	corruptRng := rand.New(rand.NewSource(fseed + 2))
+	var churn faults.ChurnSchedule
+	switch {
+	case *churnSpec != "":
+		script, err := faults.ParseChurnScript(*churnSpec)
+		if err != nil {
+			return err
+		}
+		if err := script.Validate(*nodes); err != nil {
+			return err
+		}
+		churn = script
+	case *departRate != 0 || *arriveRate != 0:
+		sampler, err := faults.NewChurnSampler(faults.ChurnRates{Depart: *departRate, Arrive: *arriveRate}, fseed+3)
+		if err != nil {
+			return err
+		}
+		churn = sampler
+	}
 	robust := fl.RobustConfig{MinQuorum: *minQuorum, MaxDeltaNorm: *maxDeltaNorm}
 	if err := robust.Validate(); err != nil {
 		return err
@@ -193,6 +223,13 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "faults: crash %.0f%%, corrupt %.0f%%, drop %.0f%% (≤%d retries), quorum %d\n",
 			100**crashRate, 100**corruptRate, 100**dropRate, *maxRetries, *minQuorum)
 	}
+	if churn != nil {
+		if *churnSpec != "" {
+			fmt.Fprintf(w, "churn: scripted %q\n", *churnSpec)
+		} else {
+			fmt.Fprintf(w, "churn: depart %.0f%%, arrive %.0f%% per round\n", 100**departRate, 100**arriveRate)
+		}
+	}
 	fmt.Fprintf(w, "round   0: accuracy %.3f (untrained)\n", acc)
 
 	// The digest pins the run bit-exactly: every evaluated accuracy and the
@@ -201,7 +238,7 @@ func run(args []string, w io.Writer) error {
 	digest := fnv.New64a()
 	hashFloats(digest, acc)
 
-	var crashed, dropped, rejected, skipped int
+	var crashed, dropped, rejected, skipped, absent, departed int
 	var global []float64
 	updates := make([]fl.Update, 0, perRound)
 	for round := 1; round <= *rounds; round++ {
@@ -214,6 +251,20 @@ func run(args []string, w io.Writer) error {
 		global = baseServer.GlobalInto(global)
 		updates = updates[:0]
 		for _, id := range selected {
+			if churn != nil {
+				present, departs := churn.Membership(round, id)
+				if !present {
+					// Outside the fleet: the sample is wasted, nothing runs.
+					absent++
+					continue
+				}
+				if departs {
+					// Leaves mid-round: selected and trained, but gone
+					// before the upload lands — the server gets nothing.
+					departed++
+					continue
+				}
+			}
 			var fault faults.Fault
 			if sched != nil {
 				fault, _ = sched.At(round, id)
@@ -254,9 +305,15 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "final accuracy after %d rounds: %.3f\n", *rounds, acc)
-	if crashed+dropped+rejected+skipped > 0 {
-		fmt.Fprintf(w, "failure summary: %d crashed, %d uploads dropped after retries, %d updates rejected, %d rounds skipped (quorum)\n",
+	if crashed+dropped+rejected+skipped+absent+departed > 0 {
+		fmt.Fprintf(w, "failure summary: %d crashed, %d uploads dropped after retries, %d updates rejected, %d rounds skipped (quorum)",
 			crashed, dropped, rejected, skipped)
+		// Churn counters print only when a churn schedule is active, so the
+		// legacy summary (and the golden traces pinning it) is unchanged.
+		if churn != nil {
+			fmt.Fprintf(w, ", %d churn-absent, %d departed mid-round", absent, departed)
+		}
+		fmt.Fprintln(w)
 	}
 	final := baseServer.Global()
 	hashFloats(digest, final...)

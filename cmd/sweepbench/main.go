@@ -27,6 +27,8 @@ type report struct {
 	TrainEpisodes   int     `json:"train_episodes_per_cell"`
 	CPUs            int     `json:"cpus"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
+	GOOS            string  `json:"goos"`
+	GOARCH          string  `json:"goarch"`
 	Jobs            int     `json:"jobs"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
@@ -84,6 +86,8 @@ func run(args []string) error {
 		TrainEpisodes:   params.TrainEpisodes,
 		CPUs:            runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
 		Jobs:            *jobs,
 		SerialSeconds:   serialSec,
 		ParallelSeconds: parallelSec,

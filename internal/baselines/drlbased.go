@@ -141,6 +141,10 @@ func (d *DRLBased) Agent() *rl.PPO { return d.pair.Agent }
 // Episode returns the number of training episodes completed.
 func (d *DRLBased) Episode() int { return d.drv.Episode() }
 
+// SetRoundHook installs a pre-round callback on the episode driver (see
+// mechanism.Driver.SetRoundHook).
+func (d *DRLBased) SetRoundHook(hook func(episode, round int) error) { d.drv.SetRoundHook(hook) }
+
 // Decide implements mechanism.Actor.
 func (d *DRLBased) Decide(train bool) ([]float64, error) {
 	d.lastState = d.obs.State()
@@ -239,15 +243,15 @@ func (d *DRLBased) Restore(ck *rl.Checkpoint) error {
 		return fmt.Errorf("baselines: restore from nil checkpoint")
 	}
 	if ck.Mechanism != "" && ck.Mechanism != drlCheckpointMechanism {
-		return fmt.Errorf("baselines: checkpoint for mechanism %q, want %q", ck.Mechanism, drlCheckpointMechanism)
+		return fmt.Errorf("%w: checkpoint for mechanism %q, want %q", rl.ErrShapeMismatch, ck.Mechanism, drlCheckpointMechanism)
 	}
 	st := ck.Agent("agent")
 	if st == nil || st.Snapshot == nil {
 		return fmt.Errorf("%w: missing agent snapshot", rl.ErrCorruptCheckpoint)
 	}
 	if ck.Nodes != d.env.NumNodes() || ck.StateDim != d.obs.Dim() {
-		return fmt.Errorf("baselines: checkpoint for %d nodes / state dim %d, environment has %d / %d",
-			ck.Nodes, ck.StateDim, d.env.NumNodes(), d.obs.Dim())
+		return fmt.Errorf("%w: checkpoint for %d nodes / state dim %d, environment has %d / %d",
+			rl.ErrShapeMismatch, ck.Nodes, ck.StateDim, d.env.NumNodes(), d.obs.Dim())
 	}
 	if err := rl.RestorePair(d.pair, st); err != nil {
 		return fmt.Errorf("baselines: restore drl-based: %w", err)

@@ -93,6 +93,10 @@ func (g *Greedy) BufferSize() int { return g.head.Len() }
 // Episode returns the number of training episodes completed.
 func (g *Greedy) Episode() int { return g.drv.Episode() }
 
+// SetRoundHook installs a pre-round callback on the episode driver (see
+// mechanism.Driver.SetRoundHook).
+func (g *Greedy) SetRoundHook(hook func(episode, round int) error) { g.drv.SetRoundHook(hook) }
+
 // Decide implements mechanism.Actor.
 func (g *Greedy) Decide(train bool) ([]float64, error) {
 	g.lastIdx = g.head.Select(g.rng, train, func() []float64 {
@@ -161,10 +165,10 @@ func (g *Greedy) Restore(ck *rl.Checkpoint) error {
 		return fmt.Errorf("baselines: restore from nil checkpoint")
 	}
 	if ck.Mechanism != "" && ck.Mechanism != greedyCheckpointMechanism {
-		return fmt.Errorf("baselines: checkpoint for mechanism %q, want %q", ck.Mechanism, greedyCheckpointMechanism)
+		return fmt.Errorf("%w: checkpoint for mechanism %q, want %q", rl.ErrShapeMismatch, ck.Mechanism, greedyCheckpointMechanism)
 	}
 	if ck.Nodes != g.env.NumNodes() {
-		return fmt.Errorf("baselines: checkpoint for %d nodes, environment has %d", ck.Nodes, g.env.NumNodes())
+		return fmt.Errorf("%w: checkpoint for %d nodes, environment has %d", rl.ErrShapeMismatch, ck.Nodes, g.env.NumNodes())
 	}
 	if len(ck.Extra) == 0 {
 		return fmt.Errorf("%w: missing greedy replay buffer", rl.ErrCorruptCheckpoint)

@@ -41,7 +41,7 @@ func (c *Chiron) Restore(ck *Checkpoint) error {
 		return fmt.Errorf("core: restore from nil checkpoint")
 	}
 	if ck.Mechanism != "" && ck.Mechanism != checkpointMechanism {
-		return fmt.Errorf("core: checkpoint for mechanism %q, want %q", ck.Mechanism, checkpointMechanism)
+		return fmt.Errorf("%w: checkpoint for mechanism %q, want %q", rl.ErrShapeMismatch, ck.Mechanism, checkpointMechanism)
 	}
 	ext, inn := ck.Agent("exterior"), ck.Agent("inner")
 	if ext == nil || ext.Snapshot == nil || inn == nil || inn.Snapshot == nil {
@@ -49,8 +49,8 @@ func (c *Chiron) Restore(ck *Checkpoint) error {
 			ErrCorruptCheckpoint, ext != nil && ext.Snapshot != nil, inn != nil && inn.Snapshot != nil)
 	}
 	if ck.Nodes != c.env.NumNodes() || ck.StateDim != c.obs.Dim() {
-		return fmt.Errorf("core: checkpoint for %d nodes / state dim %d, environment has %d / %d",
-			ck.Nodes, ck.StateDim, c.env.NumNodes(), c.obs.Dim())
+		return fmt.Errorf("%w: checkpoint for %d nodes / state dim %d, environment has %d / %d",
+			rl.ErrShapeMismatch, ck.Nodes, ck.StateDim, c.env.NumNodes(), c.obs.Dim())
 	}
 	if err := rl.RestorePair(c.pairE, ext); err != nil {
 		return fmt.Errorf("core: restore exterior: %w", err)

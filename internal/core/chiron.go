@@ -251,6 +251,10 @@ func (c *Chiron) Inner() *rl.PPO { return c.pairI.Agent }
 // Episode returns the number of training episodes completed.
 func (c *Chiron) Episode() int { return c.drv.Episode() }
 
+// SetRoundHook installs a pre-round callback on the episode driver (see
+// mechanism.Driver.SetRoundHook).
+func (c *Chiron) SetRoundHook(hook func(episode, round int) error) { c.drv.SetRoundHook(hook) }
+
 // decision is the per-round action bundle before environment execution.
 type decision struct {
 	actE   []float64 // exterior pre-squash action (dim 1)

@@ -83,6 +83,18 @@ type Config struct {
 	// waits before each re-upload attempt, on top of the node's upload
 	// time itself.
 	RetryBackoff float64
+	// Retry, when non-nil, overrides MaxRetries and RetryBackoff with a
+	// full faults.Backoff policy (geometric growth, per-delay cap). Nil
+	// keeps the flat policy the two scalar knobs describe.
+	Retry *faults.Backoff
+	// Churn schedules node arrivals and departures across the episode
+	// (faults.ChurnScript for exact sequences, faults.ChurnSampler for
+	// seed-deterministic sampling). Nil keeps the paper's fixed fleet. An
+	// absent node is outside the recruitment pool entirely; a node
+	// departing mid-round forfeits payment per the failure-payment rule
+	// and re-enters the Eqn. (11) best-response pool at the Offer stage
+	// after its next arrival.
+	Churn faults.ChurnSchedule
 	// FailurePayment ∈ [0,1] is the fraction of a failed node's
 	// contracted payment the server still pays (crash, deadline cut,
 	// drop, or corruption). 0 — the default — pays failed nodes nothing,
@@ -149,6 +161,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("edgeenv: min quorum %d, want >= 0", c.MinQuorum)
 	case c.MinQuorum > len(c.Nodes):
 		return fmt.Errorf("edgeenv: min quorum %d exceeds fleet size %d", c.MinQuorum, len(c.Nodes))
+	}
+	if c.Retry != nil {
+		if err := c.Retry.Validate(); err != nil {
+			return fmt.Errorf("edgeenv: %w", err)
+		}
 	}
 	for _, n := range c.Nodes {
 		if err := n.Validate(); err != nil {
@@ -220,15 +237,21 @@ func New(cfg Config) (*Env, error) {
 	if emptyTimeout == 0 {
 		emptyTimeout = e.timeNorm
 	}
+	// The two scalar retry knobs describe the flat policy; a full Backoff
+	// overrides them.
+	retry := faults.Constant(cfg.RetryBackoff, cfg.MaxRetries)
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
 	e.pipe, err = round.New(round.Config{
 		Nodes:          cfg.Nodes,
+		Churn:          cfg.Churn,
 		Availability:   cfg.Availability,
 		CommJitter:     cfg.CommJitter,
 		Rng:            cfg.Rng,
 		Faults:         cfg.Faults,
 		Deadline:       cfg.RoundDeadline,
-		MaxRetries:     cfg.MaxRetries,
-		RetryBackoff:   cfg.RetryBackoff,
+		Retry:          retry,
 		FailurePayment: cfg.FailurePayment,
 		EmptyTimeout:   emptyTimeout,
 		MinQuorum:      minQuorum,

@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzChurnSchedule throws arbitrary text at the churn-script parser and
+// arbitrary floats/seeds at the churn sampler. The parser must never
+// accept a script that violates the alternation invariants (negative
+// rounds/nodes, duplicate (node, round) cells, double departures), and an
+// accepted script must round-trip through its canonical text form. The
+// sampler must reject NaN and out-of-range rates, and an accepted sampler
+// must obey the membership laws at every queried cell: deterministic
+// repeat queries, departs ⇒ present, and out-of-domain queries answering
+// absent.
+func FuzzChurnSchedule(f *testing.F) {
+	f.Add("-2@5,+2@9,+7@3", 0.1, 0.2, 0.3, int64(1))
+	f.Add("", 0.0, 0.0, 0.0, int64(42))
+	f.Add("+0@1;-0@2 +0@9", 1.0, 1.0, 1.0, int64(-7))
+	f.Add("-1@-4", math.NaN(), 0.5, 0.5, int64(0))
+	f.Add("+3@1,+3@1", 0.5, math.Inf(1), -0.5, int64(99))
+	f.Add("--1@2", 2.0, 0.0, 1.0, int64(3))
+
+	f.Fuzz(func(t *testing.T, spec string, depart, arrive, initAbsent float64, seed int64) {
+		if s, err := ParseChurnScript(spec); err == nil {
+			events := s.Events()
+			seen := make(map[[2]int]bool, len(events))
+			lastKind := make(map[int]ChurnKind)
+			for _, ev := range events {
+				if ev.Round < 1 {
+					t.Fatalf("accepted event with round %d", ev.Round)
+				}
+				if ev.Node < 0 {
+					t.Fatalf("accepted event with node %d", ev.Node)
+				}
+				cell := [2]int{ev.Node, ev.Round}
+				if seen[cell] {
+					t.Fatalf("accepted duplicate event for node %d round %d", ev.Node, ev.Round)
+				}
+				seen[cell] = true
+				if prev, ok := lastKind[ev.Node]; ok && prev == ev.Kind {
+					t.Fatalf("accepted consecutive %v events for node %d", ev.Kind, ev.Node)
+				}
+				lastKind[ev.Node] = ev.Kind
+			}
+			// Canonical text form round-trips to the same schedule.
+			text := FormatChurnScript(s)
+			s2, err := ParseChurnScript(text)
+			if err != nil {
+				t.Fatalf("canonical form %q rejected: %v", text, err)
+			}
+			if got := FormatChurnScript(s2); got != text {
+				t.Fatalf("round-trip format %q != %q", got, text)
+			}
+			checkMembershipLaws(t, s)
+		}
+
+		rates := ChurnRates{Depart: depart, Arrive: arrive, InitialAbsent: initAbsent}
+		sampler, err := NewChurnSampler(rates, seed)
+		valid := rates.Validate() == nil
+		if valid != (err == nil) {
+			t.Fatalf("NewChurnSampler(%+v) = %v, want valid=%v", rates, err, valid)
+		}
+		if err == nil {
+			for _, p := range []float64{depart, arrive, initAbsent} {
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					t.Fatalf("sampler accepted rate %v", p)
+				}
+			}
+			checkMembershipLaws(t, sampler)
+		}
+	})
+}
+
+// checkMembershipLaws probes a schedule over a small grid and asserts the
+// ChurnSchedule contract: determinism, departs ⇒ present, and absent
+// answers outside the domain (round < 1, node < 0).
+func checkMembershipLaws(t *testing.T, s ChurnSchedule) {
+	t.Helper()
+	for r := -1; r <= 12; r++ {
+		for n := -1; n <= 6; n++ {
+			p, d := s.Membership(r, n)
+			if p2, d2 := s.Membership(r, n); p2 != p || d2 != d {
+				t.Fatalf("Membership(%d, %d) not deterministic", r, n)
+			}
+			if d && !p {
+				t.Fatalf("Membership(%d, %d): departs while absent", r, n)
+			}
+			if (r < 1 || n < 0) && (p || d) {
+				t.Fatalf("Membership(%d, %d) = (%v, %v) outside the domain", r, n, p, d)
+			}
+		}
+	}
+}

@@ -34,6 +34,9 @@ const (
 	// OutcomeCorrupted means the upload arrived but failed sanitization
 	// (non-finite or norm-exploded parameters) and was rejected.
 	OutcomeCorrupted
+	// OutcomeDeparted means the node left the fleet mid-round (churn): it
+	// accepted the offer, then went silent like a crash.
+	OutcomeDeparted
 )
 
 // String implements fmt.Stringer with stable, trace-friendly names.
@@ -51,6 +54,8 @@ func (o Outcome) String() string {
 		return "dropped"
 	case OutcomeCorrupted:
 		return "corrupted"
+	case OutcomeDeparted:
+		return "departed"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
@@ -60,7 +65,7 @@ func (o Outcome) String() string {
 // joined the round (absent nodes never started, completed nodes finished).
 func (o Outcome) Failed() bool {
 	switch o {
-	case OutcomeCrashed, OutcomeDeadlineCut, OutcomeDropped, OutcomeCorrupted:
+	case OutcomeCrashed, OutcomeDeadlineCut, OutcomeDropped, OutcomeCorrupted, OutcomeDeparted:
 		return true
 	default:
 		return false

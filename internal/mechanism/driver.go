@@ -32,10 +32,11 @@ type Actor interface {
 // Driver runs full episodes of one actor against one environment — the
 // single episode loop behind every mechanism's RunEpisode and Train.
 type Driver struct {
-	name    string
-	env     *edgeenv.Env
-	actor   Actor
-	episode int
+	name      string
+	env       *edgeenv.Env
+	actor     Actor
+	episode   int
+	roundHook func(episode, round int) error
 }
 
 // NewDriver binds actor to env. name labels training errors.
@@ -49,6 +50,13 @@ func (d *Driver) Episode() int { return d.episode }
 // SetEpisode overwrites the episode counter (checkpoint restore).
 func (d *Driver) SetEpisode(n int) { d.episode = n }
 
+// SetRoundHook installs a callback invoked before every round's Decide
+// with the 0-based episode index in progress and the upcoming 1-based
+// round index. A hook error aborts the episode with that error — the
+// injection point the supervisor's chaos tests use to kill a run at an
+// exact round. Nil removes the hook.
+func (d *Driver) SetRoundHook(hook func(episode, round int) error) { d.roundHook = hook }
+
 // RunEpisode plays one full episode: reset, decide/step/observe until the
 // environment terminates, summarize from the ledger, then hand the actor
 // its end-of-episode learner work.
@@ -59,6 +67,11 @@ func (d *Driver) RunEpisode(train bool) (EpisodeResult, error) {
 	ext := NewReturns()
 	var innReturn float64
 	for !d.env.Done() {
+		if d.roundHook != nil {
+			if err := d.roundHook(d.episode, d.env.Round()); err != nil {
+				return EpisodeResult{}, err
+			}
+		}
 		prices, err := d.actor.Decide(train)
 		if err != nil {
 			return EpisodeResult{}, err

@@ -45,6 +45,11 @@ func NewHistoryEncoder(env *edgeenv.Env) *HistoryEncoder {
 func (h *HistoryEncoder) Dim() int { return 3 * h.nodes * h.window }
 
 // EncodeTo implements Encoder.
+//
+// The node axis is clamped per round record: a record narrower than the
+// fleet (a round played while churn had shrunk the roster, or a legacy
+// trace) contributes zeros for the missing tail instead of panicking, so
+// the observation shape stays fixed while the fleet varies.
 func (h *HistoryEncoder) EncodeTo(dst []float64) {
 	for i := range dst {
 		dst[i] = 0
@@ -58,7 +63,13 @@ func (h *HistoryEncoder) EncodeTo(dst []float64) {
 		}
 		r := &rounds[idx]
 		base := slot * 3 * n
-		for i := 0; i < n; i++ {
+		m := n
+		for _, l := range []int{len(r.Freqs), len(r.Prices), len(r.Times)} {
+			if l < m {
+				m = l
+			}
+		}
+		for i := 0; i < m; i++ {
 			dst[base+i] = r.Freqs[i] / h.freqNorm
 			dst[base+n+i] = r.Prices[i] / h.priceNorm
 			dst[base+2*n+i] = r.Times[i] / h.timeNorm
@@ -138,6 +149,50 @@ func NewExteriorEncoder(env *edgeenv.Env) (*Concat, error) {
 // the defining difference from Chiron's exterior agent.
 func NewMyopicEncoder(env *edgeenv.Env) (*Concat, error) {
 	return NewConcat(NewHistoryEncoder(env))
+}
+
+// PresenceEncoder renders the fleet-membership mask of the environment's
+// churn schedule: one feature per node, 1 when the node is in the
+// recruitment pool at the upcoming round's Offer stage (a node departing
+// mid-round is still present at the Offer, so it encodes 1). Without a
+// churn schedule every node reads 1, so the block is constant — which is
+// why it is opt-in via NewChurnAwareEncoder rather than part of
+// NewExteriorEncoder: adding it there would change the observation
+// dimension every existing checkpoint and golden trace pins.
+type PresenceEncoder struct {
+	env   *edgeenv.Env
+	nodes int
+}
+
+// NewPresenceEncoder builds the encoder over env's churn schedule.
+func NewPresenceEncoder(env *edgeenv.Env) *PresenceEncoder {
+	return &PresenceEncoder{env: env, nodes: env.NumNodes()}
+}
+
+// Dim implements Encoder: one presence bit per node.
+func (p *PresenceEncoder) Dim() int { return p.nodes }
+
+// EncodeTo implements Encoder.
+func (p *PresenceEncoder) EncodeTo(dst []float64) {
+	churn := p.env.Config().Churn
+	round := p.env.Round()
+	for i := 0; i < p.nodes; i++ {
+		dst[i] = 1
+		if churn != nil {
+			if present, _ := churn.Membership(round, i); !present {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// NewChurnAwareEncoder composes the churn-extended exterior observation
+// s^E_k = [history window | presence mask | budget fraction, round index]:
+// the varying node axis is exposed to the policy as an explicit mask over
+// a fixed-width layout, so network shapes (and checkpoints) stay valid as
+// nodes come and go.
+func NewChurnAwareEncoder(env *edgeenv.Env) (*Concat, error) {
+	return NewConcat(NewHistoryEncoder(env), NewPresenceEncoder(env), NewBudgetRoundEncoder(env))
 }
 
 // ConditioningEncoder renders the exterior action as the inner agent's

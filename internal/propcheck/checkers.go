@@ -6,6 +6,7 @@ import (
 
 	"chiron/internal/device"
 	"chiron/internal/edgeenv"
+	"chiron/internal/faults"
 	"chiron/internal/market"
 	"chiron/internal/mechanism"
 )
@@ -193,6 +194,69 @@ func CheckRoundAccounting(r *market.Round, failurePayment float64) error {
 	if !approxEqual(r.Payment, wantPayment, tolLoose) {
 		return fmt.Errorf("payment %v ≠ price·contribution accounting %v (failure fraction %v)",
 			r.Payment, wantPayment, failurePayment)
+	}
+	return nil
+}
+
+// CheckChurnRound verifies one committed round record against the fleet's
+// churn schedule at the environment round it was played: a node outside
+// the fleet must be absent from the record (no frequency, no time, no
+// payment basis), a joined node the schedule removes mid-round must settle
+// as OutcomeDeparted, and OutcomeDeparted may appear only on nodes the
+// schedule actually departs. round is the environment's 1-based round
+// index (not the ledger's record index — empty offers advance the former
+// but not the latter). A nil schedule means a fixed fleet: nobody may
+// depart.
+func CheckChurnRound(r *market.Round, churn faults.ChurnSchedule, round int) error {
+	for i := range r.Freqs {
+		present, departs := true, false
+		if churn != nil {
+			present, departs = churn.Membership(round, i)
+		}
+		joined := r.Freqs[i] > 0
+		outcome := market.OutcomeCompleted
+		if r.Outcomes != nil {
+			outcome = r.Outcomes[i]
+		}
+		if !present {
+			if joined || r.Times[i] != 0 {
+				return fmt.Errorf("node %d outside the fleet at round %d but has ζ=%v, t=%v",
+					i, round, r.Freqs[i], r.Times[i])
+			}
+			if r.Outcomes != nil && outcome != market.OutcomeAbsent {
+				return fmt.Errorf("node %d outside the fleet at round %d but has outcome %v",
+					i, round, outcome)
+			}
+			continue
+		}
+		if joined && departs && outcome != market.OutcomeDeparted {
+			return fmt.Errorf("node %d departs at round %d but joined with outcome %v",
+				i, round, outcome)
+		}
+		if outcome == market.OutcomeDeparted && !departs {
+			return fmt.Errorf("node %d marked departed at round %d but the schedule keeps it",
+				i, round)
+		}
+	}
+	return nil
+}
+
+// CheckQuorumRule verifies the Commit stage's quorum law on one committed
+// round: a round completing fewer than minQuorum updates must leave the
+// model — and thus the recorded accuracy — exactly where it was.
+// prevAccuracy is the accuracy after the previous committed round; pass
+// NaN when unknown (the first committed round) to check only the range
+// laws. minQuorum ≤ 0 means the environment's default of 1.
+func CheckQuorumRule(r *market.Round, prevAccuracy float64, minQuorum int) error {
+	if minQuorum <= 0 {
+		minQuorum = 1
+	}
+	if math.IsNaN(r.Accuracy) || r.Accuracy < 0 || r.Accuracy > 1+tolExact {
+		return fmt.Errorf("recorded accuracy %v outside [0,1]", r.Accuracy)
+	}
+	if r.Completed < minQuorum && !math.IsNaN(prevAccuracy) && r.Accuracy != prevAccuracy {
+		return fmt.Errorf("quorum missed (%d < %d) but accuracy moved %v → %v",
+			r.Completed, minQuorum, prevAccuracy, r.Accuracy)
 	}
 	return nil
 }

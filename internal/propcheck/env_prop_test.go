@@ -39,6 +39,7 @@ func TestStepInvariantsProperty(t *testing.T) {
 		}
 		steps := 0
 		for !env.Done() {
+			envRound := env.Round()
 			prices := RandomPrices(rng, env)
 			roundsBefore := ledger.NumRounds()
 			wasteBefore := ledger.WastedTime()
@@ -57,6 +58,15 @@ func TestStepInvariantsProperty(t *testing.T) {
 					t.Fatalf("trial %d step %d: %v", trial, steps, err)
 				}
 				if err := CheckTimeLaws(r); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, steps, err)
+				}
+				// The churn checker needs the environment round the record
+				// was played at, not its ledger index — empty offers advance
+				// the former without the latter.
+				if err := CheckChurnRound(r, cfg.Churn, envRound); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, steps, err)
+				}
+				if err := CheckQuorumRule(r, lastAcc, cfg.MinQuorum); err != nil {
 					t.Fatalf("trial %d step %d: %v", trial, steps, err)
 				}
 				for i, node := range env.Nodes() {

@@ -156,7 +156,32 @@ func RandomEnv(rng *rand.Rand, maxNodes int) (*edgeenv.Env, error) {
 	cfg.RetryBackoff = Uniform(rng, 0, 3)
 	cfg.FailurePayment = Uniform(rng, 0, 1)
 	cfg.MinQuorum = rng.Intn(n + 1)
+	// Churn draws come last so earlier config draws replay identically for
+	// a given trial seed whether or not the fleet churns.
+	churn, err := RandomChurn(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Churn = churn
 	return edgeenv.New(cfg)
+}
+
+// RandomChurn draws a fleet-membership schedule: nil (a fixed fleet) for
+// half the draws, otherwise a seed-deterministic Markov sampler whose
+// depart rate stays low enough and arrive rate high enough that the fleet
+// thins and recovers without staying empty for whole episodes.
+func RandomChurn(rng *rand.Rand, n int) (faults.ChurnSchedule, error) {
+	if rng.Intn(2) == 0 {
+		return nil, nil
+	}
+	rates := faults.ChurnRates{
+		Depart: Uniform(rng, 0, 0.3),
+		Arrive: Uniform(rng, 0.2, 0.9),
+	}
+	if rng.Intn(3) == 0 {
+		rates.InitialAbsent = Uniform(rng, 0, 0.5)
+	}
+	return faults.NewChurnSampler(rates, rng.Int63())
 }
 
 // RandomPrices draws a per-node price vector from one of several regimes:

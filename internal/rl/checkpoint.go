@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // ErrCorruptCheckpoint reports a checkpoint that cannot be restored:
@@ -12,6 +13,13 @@ import (
 // agent snapshot the mechanism requires). Callers distinguish it from shape
 // mismatches and I/O errors with errors.Is.
 var ErrCorruptCheckpoint = errors.New("rl: corrupt checkpoint")
+
+// ErrShapeMismatch reports a structurally valid checkpoint whose pins do
+// not match the restoring mechanism: a different mechanism tag, fleet
+// size, or observation width. It marks a stale file from another
+// configuration — recoverable by falling back to an older checkpoint,
+// unlike a hard I/O error.
+var ErrShapeMismatch = errors.New("rl: checkpoint shape mismatch")
 
 // AgentState is one agent's slice of a checkpoint: its learnable snapshot
 // plus any rollout experience carried across episodes by MinSamples
@@ -88,14 +96,38 @@ func RestorePair(p *Pair, st *AgentState) error {
 	return nil
 }
 
-// SaveCheckpoint writes ck as JSON to path.
+// SaveCheckpoint writes ck as JSON to path, crash-safely: the bytes land
+// in a temporary file in path's directory and are renamed into place, so a
+// crash mid-write can never leave a torn checkpoint at the target path —
+// the reader sees either the old complete file or the new one. (Rename is
+// atomic only within a filesystem, which staging in the same directory
+// guarantees.)
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("rl: marshal checkpoint: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("rl: write checkpoint: %w", err)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rl: stage checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		// CreateTemp's 0600 would tighten the 0644 the pre-atomic writer
+		// produced; keep checkpoints world-readable as before.
+		werr = os.Chmod(tmpName, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("rl: write checkpoint: %w", werr)
 	}
 	return nil
 }

@@ -1,0 +1,84 @@
+package rl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+
+	old := &Checkpoint{Mechanism: "chiron", Nodes: 3, StateDim: 7, Episode: 1}
+	if err := SaveCheckpoint(path, old); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	next := &Checkpoint{Mechanism: "chiron", Nodes: 3, StateDim: 7, Episode: 2}
+	if err := SaveCheckpoint(path, next); err != nil {
+		t.Fatalf("SaveCheckpoint overwrite: %v", err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.Episode != 2 {
+		t.Fatalf("episode = %d, want 2", got.Episode)
+	}
+
+	// The staging file must not survive a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("staging file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the checkpoint", len(entries))
+	}
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("checkpoint mode %v, want 0644", perm)
+	}
+}
+
+// TestSaveCheckpointFailureKeepsOld: when the save cannot complete (the
+// target directory is gone), the error must surface and no partial state
+// may replace an existing checkpoint elsewhere.
+func TestSaveCheckpointFailureKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope", "ck.json")
+	if err := SaveCheckpoint(missing, &Checkpoint{Episode: 1}); err == nil {
+		t.Fatal("SaveCheckpoint into a missing directory succeeded")
+	}
+}
+
+func TestLoadCheckpointTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := SaveCheckpoint(path, &Checkpoint{Episode: 5}); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Truncate mid-JSON, as a crash between write and rename of a
+	// non-atomic writer would have.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("LoadCheckpoint(truncated) = %v, want ErrCorruptCheckpoint", err)
+	}
+}

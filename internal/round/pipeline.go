@@ -18,16 +18,19 @@ import (
 type Config struct {
 	// Nodes is the fleet (never mutated by the pipeline).
 	Nodes []*device.Node
+	// Churn is the fleet-membership schedule Respond consults (nil = the
+	// paper's fixed fleet).
+	Churn faults.ChurnSchedule
 	// Availability and CommJitter parameterize the churn draws of Respond.
 	Availability float64
 	CommJitter   float64
 	// Rng drives the churn draws (required when either is enabled).
 	Rng *rand.Rand
-	// Faults, Deadline, MaxRetries, and RetryBackoff parameterize Execute.
-	Faults       faults.Schedule
-	Deadline     float64
-	MaxRetries   int
-	RetryBackoff float64
+	// Faults, Deadline, and Retry parameterize Execute.
+	Faults   faults.Schedule
+	Deadline float64
+	// Retry is the dropped-upload retry/backoff policy.
+	Retry faults.Backoff
 	// FailurePayment and EmptyTimeout parameterize Settle.
 	FailurePayment float64
 	EmptyTimeout   float64
@@ -67,19 +70,22 @@ func New(cfg Config) (*Pipeline, error) {
 	case (cfg.CommJitter > 0 || (cfg.Availability > 0 && cfg.Availability < 1)) && cfg.Rng == nil:
 		return nil, fmt.Errorf("round: churn draws require a Rng")
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("round: %w", err)
+	}
 	return &Pipeline{
 		Offer: Offer{NumNodes: len(cfg.Nodes)},
 		Respond: Respond{
 			Nodes:        cfg.Nodes,
+			Churn:        cfg.Churn,
 			Availability: cfg.Availability,
 			CommJitter:   cfg.CommJitter,
 			Rng:          cfg.Rng,
 		},
 		Execute: Execute{
-			Faults:       cfg.Faults,
-			Deadline:     cfg.Deadline,
-			MaxRetries:   cfg.MaxRetries,
-			RetryBackoff: cfg.RetryBackoff,
+			Faults:   cfg.Faults,
+			Deadline: cfg.Deadline,
+			Retry:    cfg.Retry,
 		},
 		Settle: Settle{
 			FailurePayment: cfg.FailurePayment,

@@ -88,6 +88,9 @@ type State struct {
 	Record market.Round
 	// Joined marks nodes whose best response accepted the offer.
 	Joined []bool
+	// Departing marks nodes the churn schedule removes mid-round: present
+	// at the Offer stage, gone before their upload lands.
+	Departing []bool
 	// ContractPay holds each joiner's full contracted payment p_i·ζ_i.
 	ContractPay []float64
 	// CommTimes holds each joiner's (possibly jittered) upload time, the
@@ -110,6 +113,7 @@ func NewState(index int, prices []float64, prevAccuracy float64, n int) *State {
 		Prices:       prices,
 		PrevAccuracy: prevAccuracy,
 		Joined:       make([]bool, n),
+		Departing:    make([]bool, n),
 		ContractPay:  make([]float64, n),
 		CommTimes:    make([]float64, n),
 	}
@@ -148,18 +152,26 @@ func (o Offer) Run(st *State) error {
 	return nil
 }
 
-// Respond plays the fleet's side of the round: per node, an availability
-// draw, a bandwidth-jitter draw, and the Eqn. (11) best response to the
-// posted price. It fills Joined, Freqs, the nominal Times (compute +
-// jittered upload), ContractPay, CommTimes, Contracted, and Participants.
+// Respond plays the fleet's side of the round: per node, a fleet-membership
+// lookup against the churn schedule, an availability draw, a bandwidth-
+// jitter draw, and the Eqn. (11) best response to the posted price. It
+// fills Joined, Departing, Freqs, the nominal Times (compute + jittered
+// upload), ContractPay, CommTimes, Contracted, and Participants.
 //
 // RNG discipline: nodes are visited in index order; each available node
 // consumes its availability draw before its jitter draw, and offline nodes
 // consume no jitter draw — the exact sequence the monolithic Step used, so
-// seeded traces stay bit-identical.
+// seeded traces stay bit-identical. Churn-absent nodes are skipped before
+// any draw — they consume nothing, exactly like offline nodes — so a nil
+// churn schedule leaves the draw stream untouched.
 type Respond struct {
 	// Nodes is the fleet (never mutated).
 	Nodes []*device.Node
+	// Churn is the fleet-membership schedule (nil = fixed fleet). A node
+	// absent at this round's Offer stage is skipped entirely; a node the
+	// schedule departs mid-round still responds (it is present at the
+	// Offer) and is marked Departing for Execute to fail.
+	Churn faults.ChurnSchedule
 	// Availability is the per-round probability a node is reachable; 0 or 1
 	// disables the draw (always available).
 	Availability float64
@@ -177,6 +189,13 @@ func (r Respond) Name() string { return "respond" }
 // Run implements Stage.
 func (r Respond) Run(st *State) error {
 	for i, node := range r.Nodes {
+		if r.Churn != nil {
+			present, departs := r.Churn.Membership(st.Index, i)
+			if !present {
+				continue // outside the fleet this round: no draws, no offer
+			}
+			st.Departing[i] = departs
+		}
 		if r.Availability > 0 && r.Availability < 1 && r.Rng.Float64() >= r.Availability {
 			continue // node offline this round
 		}
@@ -200,10 +219,12 @@ func (r Respond) Run(st *State) error {
 	return nil
 }
 
-// Execute runs the joined nodes through the failure pipeline: the injected
-// fault schedule first (a Crash silences the node until the deadline or its
-// nominal finish, a Straggle multiplies its time, a Drop burns retry churn
-// and abandons the node past MaxRetries, a Corrupt upload is rejected at
+// Execute runs the joined nodes through the failure pipeline: a mid-round
+// departure first (the node left the fleet — it goes silent like a crash,
+// preempting whatever fault was scheduled for it), then the injected fault
+// schedule (a Crash silences the node until the deadline or its nominal
+// finish, a Straggle multiplies its time, a Drop burns retry churn and
+// abandons the node past the retry budget, a Corrupt upload is rejected at
 // sanitization), then the server's straggler deadline, which cuts any node
 // still running. It rewrites Times and Outcomes in place.
 type Execute struct {
@@ -211,10 +232,9 @@ type Execute struct {
 	Faults faults.Schedule
 	// Deadline is the server's straggler cutoff in seconds (0 disables).
 	Deadline float64
-	// MaxRetries bounds re-requests of a dropped upload.
-	MaxRetries int
-	// RetryBackoff is the extra pause before each re-upload attempt.
-	RetryBackoff float64
+	// Retry is the dropped-upload retry policy: MaxRetries bounds
+	// re-requests, Base/Factor/Max shape the per-attempt backoff pause.
+	Retry faults.Backoff
 }
 
 // Name implements Stage.
@@ -228,7 +248,15 @@ func (x Execute) Run(st *State) error {
 		}
 		t := st.Record.Times[i]
 		outcome := market.OutcomeCompleted
-		if x.Faults != nil {
+		if st.Departing != nil && st.Departing[i] {
+			// The node accepted the offer, then left the fleet mid-round:
+			// like a crash, the server learns only by waiting — until the
+			// deadline when one is set, else the node's expected finish.
+			outcome = market.OutcomeDeparted
+			if x.Deadline > 0 {
+				t = x.Deadline
+			}
+		} else if x.Faults != nil {
 			if f, ok := x.Faults.At(st.Index, i); ok {
 				switch f.Kind {
 				case faults.Crash:
@@ -247,11 +275,11 @@ func (x Execute) Run(st *State) error {
 					// Each lost upload costs a re-upload plus backoff; the
 					// node is abandoned once the retry budget runs out.
 					retries := f.Attempts
-					if retries > x.MaxRetries {
-						retries = x.MaxRetries
+					if retries > x.Retry.MaxRetries {
+						retries = x.Retry.MaxRetries
 						outcome = market.OutcomeDropped
 					}
-					t += float64(retries) * (st.CommTimes[i] + x.RetryBackoff)
+					t += x.Retry.RetryTime(st.CommTimes[i], retries)
 					if outcome == market.OutcomeDropped {
 						// The final, abandoned attempt still burned its
 						// upload time before the server gave up.

@@ -267,7 +267,7 @@ func TestExecuteFaultMatrix(t *testing.T) {
 			if tc.haveFault {
 				sched = faults.Script{1: {0: tc.fault}}
 			}
-			x := round.Execute{Faults: sched, Deadline: tc.deadline, MaxRetries: 2, RetryBackoff: backoff}
+			x := round.Execute{Faults: sched, Deadline: tc.deadline, Retry: faults.Constant(backoff, 2)}
 			if err := x.Run(st); err != nil {
 				t.Fatalf("Execute: %v", err)
 			}
@@ -556,8 +556,7 @@ func TestPipelineEconomicLaws(t *testing.T) {
 			Rng:            rand.New(rand.NewSource(rng.Int63())),
 			Faults:         sched,
 			Deadline:       deadline,
-			MaxRetries:     rng.Intn(4),
-			RetryBackoff:   propcheck.Uniform(rng, 0, 2),
+			Retry:          faults.Constant(propcheck.Uniform(rng, 0, 2), rng.Intn(4)),
 			FailurePayment: failurePayment,
 			EmptyTimeout:   propcheck.Uniform(rng, 1, 60),
 			MinQuorum:      1 + rng.Intn(n),

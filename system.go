@@ -42,6 +42,10 @@ type SystemConfig struct {
 	// Accuracy overrides the accuracy model entirely (advanced use; takes
 	// precedence over Dataset and RealTraining).
 	Accuracy AccuracyModel
+	// Churn schedules node arrivals and departures across rounds (nil = the
+	// paper's fixed fleet). Build one with ParseChurnScript or
+	// NewChurnSampler.
+	Churn ChurnSchedule
 	// Workers bounds the compute worker pool used by the matrix kernels
 	// (0 = GOMAXPROCS). Results are bit-identical at any worker count; the
 	// setting is process-wide, so the last constructed system wins.
@@ -103,6 +107,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Lambda > 0 {
 		envCfg.Lambda = cfg.Lambda
 	}
+	envCfg.Churn = cfg.Churn
 	env, err := edgeenv.New(envCfg)
 	if err != nil {
 		return nil, fmt.Errorf("chiron: environment: %w", err)
