@@ -1,0 +1,189 @@
+// Command benchgate compares a fresh `go test -bench Compute` run against
+// the committed BENCH_compute.json baseline and fails when throughput has
+// regressed. Per-benchmark ratios (current ns/op over baseline "after"
+// ns/op) are combined as a geometric mean, so one noisy benchmark cannot
+// mask — or fake — a regression on its own; the gate trips when the
+// geomean exceeds 1+threshold (default 10%).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Compute -benchmem . | tee bench.txt
+//	benchgate -baseline BENCH_compute.json -bench bench.txt [-threshold 0.10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed BENCH_compute.json schema; only the
+// fields the gate needs are declared.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_compute.json", "committed baseline JSON")
+	benchPath := fs.String("bench", "", "go test -bench output to check (required)")
+	threshold := fs.Float64("threshold", 0.10, "maximum allowed geomean slowdown, e.g. 0.10 = +10%")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := loadBenchOutput(*benchPath)
+	if err != nil {
+		return err
+	}
+	report, err := gate(baseline, current, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.String())
+	if report.Failed {
+		return fmt.Errorf("geomean ratio %.3f exceeds %.3f (+%d%% threshold)",
+			report.Geomean, 1+report.Threshold, int(report.Threshold*100))
+	}
+	return nil
+}
+
+// loadBaseline reads the committed baseline and returns name → ns/op for
+// the "after" (current-code) side.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(bf.Benchmarks))
+	for _, b := range bf.Benchmarks {
+		if b.After.NsPerOp <= 0 {
+			return nil, fmt.Errorf("baseline %s: %s has non-positive after.ns_per_op", path, b.Name)
+		}
+		out[b.Name] = b.After.NsPerOp
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return out, nil
+}
+
+// benchLine matches standard `go test -bench` result lines, e.g.
+// "BenchmarkComputePPOUpdate-4   100   12528542 ns/op   4651 B/op ...".
+// The -N GOMAXPROCS suffix is optional: it is absent on single-CPU boxes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// loadBenchOutput parses `go test -bench` text into name → ns/op.
+func loadBenchOutput(path string) (map[string]float64, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-bench is required (a go test -bench output file)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("read bench output: %w", err)
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bench output %s: bad ns/op on %q", path, sc.Text())
+		}
+		out[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench output %s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// gateReport is the rendered comparison plus the pass/fail verdict.
+type gateReport struct {
+	Rows      []gateRow
+	Geomean   float64
+	Threshold float64
+	Failed    bool
+}
+
+type gateRow struct {
+	Name              string
+	BaselineNs, NowNs float64
+	Ratio             float64
+}
+
+func (r gateReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-42s %14.0f %14.0f %8.3f\n", row.Name, row.BaselineNs, row.NowNs, row.Ratio)
+	}
+	verdict := "ok"
+	if r.Failed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "geomean ratio %.3f (gate at %.3f): %s\n", r.Geomean, 1+r.Threshold, verdict)
+	return b.String()
+}
+
+// gate compares every baseline benchmark against the current run. A
+// baseline benchmark missing from the fresh run is an error — silently
+// dropping a benchmark is how regressions hide.
+func gate(baseline, current map[string]float64, threshold float64) (gateReport, error) {
+	if threshold <= 0 {
+		return gateReport{}, fmt.Errorf("threshold %v must be positive", threshold)
+	}
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	report := gateReport{Threshold: threshold}
+	logSum := 0.0
+	for _, name := range names {
+		now, ok := current[name]
+		if !ok {
+			return gateReport{}, fmt.Errorf("benchmark %s is in the baseline but missing from the fresh run", name)
+		}
+		ratio := now / baseline[name]
+		logSum += math.Log(ratio)
+		report.Rows = append(report.Rows, gateRow{Name: name, BaselineNs: baseline[name], NowNs: now, Ratio: ratio})
+	}
+	report.Geomean = math.Exp(logSum / float64(len(names)))
+	report.Failed = report.Geomean > 1+threshold
+	return report, nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "benchmarks": [
+    {"name": "BenchmarkComputeA", "after": {"ns_per_op": 1000}},
+    {"name": "BenchmarkComputeB", "after": {"ns_per_op": 2000}}
+  ]
+}`
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseline := map[string]float64{"A": 1000, "B": 2000}
+	current := map[string]float64{"A": 1050, "B": 2100} // +5% each
+	r, err := gate(baseline, current, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed {
+		t.Fatalf("gate failed at geomean %v with +10%% threshold", r.Geomean)
+	}
+	if math.Abs(r.Geomean-1.05) > 1e-12 {
+		t.Fatalf("geomean %v, want 1.05", r.Geomean)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	baseline := map[string]float64{"A": 1000, "B": 2000}
+	current := map[string]float64{"A": 1200, "B": 2400} // +20% each
+	r, err := gate(baseline, current, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Failed {
+		t.Fatalf("gate passed at geomean %v despite +20%% regression", r.Geomean)
+	}
+}
+
+// TestGateGeomeanAbsorbsOneNoisySample pins the normalization choice: one
+// +25% outlier over three flat benchmarks stays under the +10% gate.
+func TestGateGeomeanAbsorbsOneNoisySample(t *testing.T) {
+	baseline := map[string]float64{"A": 1000, "B": 1000, "C": 1000, "D": 1000}
+	current := map[string]float64{"A": 1250, "B": 1000, "C": 1000, "D": 1000}
+	r, err := gate(baseline, current, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed {
+		t.Fatalf("gate failed at geomean %v on a single outlier", r.Geomean)
+	}
+}
+
+func TestGateMissingBenchmarkIsError(t *testing.T) {
+	if _, err := gate(map[string]float64{"A": 1, "B": 1}, map[string]float64{"A": 1}, 0.10); err == nil {
+		t.Fatal("missing benchmark did not error")
+	}
+}
+
+func TestLoadBenchOutputParsesSuffixedAndBareNames(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "bench.txt", strings.Join([]string{
+		"goos: linux",
+		"BenchmarkComputeA-4   \t 100\t   1234 ns/op\t  10 B/op\t 2 allocs/op",
+		"BenchmarkComputeB    \t  50\t   5678.5 ns/op",
+		"PASS",
+	}, "\n"))
+	got, err := loadBenchOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkComputeA"] != 1234 {
+		t.Fatalf("suffixed name: got %v", got["BenchmarkComputeA"])
+	}
+	if got["BenchmarkComputeB"] != 5678.5 {
+		t.Fatalf("bare name: got %v", got["BenchmarkComputeB"])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "baseline.json", baselineJSON)
+	ok := writeFile(t, dir, "ok.txt", strings.Join([]string{
+		"BenchmarkComputeA-2 100 1020 ns/op",
+		"BenchmarkComputeB-2 100 2040 ns/op",
+	}, "\n"))
+	bad := writeFile(t, dir, "bad.txt", strings.Join([]string{
+		"BenchmarkComputeA-2 100 1500 ns/op",
+		"BenchmarkComputeB-2 100 3000 ns/op",
+	}, "\n"))
+	var sb strings.Builder
+	if err := run([]string{"-baseline", baseline, "-bench", ok}, &sb); err != nil {
+		t.Fatalf("passing run errored: %v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-baseline", baseline, "-bench", bad}, &sb); err == nil {
+		t.Fatalf("regressed run passed:\n%s", sb.String())
+	}
+}

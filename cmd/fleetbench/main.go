@@ -1,0 +1,144 @@
+// Command fleetbench measures struct-of-arrays round throughput across a
+// ladder of fleet sizes (default 1k → 1M nodes) by driving full
+// compact-mode rounds through the environment, and writes rounds/sec,
+// ns/node·round, and bytes/node per size as JSON. With -verify it runs
+// every case at two worker counts and requires bit-identical round
+// digests — the determinism contract of the sharded batch kernels.
+//
+// Usage:
+//
+//	fleetbench [-cases 1000:512,10000:128,...] [-seed N] [-workers N]
+//	           [-verify] [-verify-workers N] [-out BENCH_fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"chiron/internal/experiment"
+)
+
+type report struct {
+	Description string                        `json:"description"`
+	CPUs        int                           `json:"cpus"`
+	GOMAXPROCS  int                           `json:"gomaxprocs"`
+	GOOS        string                        `json:"goos"`
+	GOARCH      string                        `json:"goarch"`
+	Seed        int64                         `json:"seed"`
+	Workers     int                           `json:"workers"`
+	Determinism *determinism                  `json:"determinism,omitempty"`
+	Results     []experiment.FleetBenchResult `json:"results"`
+}
+
+type determinism struct {
+	Verified        bool  `json:"verified"`
+	WorkersCompared []int `json:"workers_compared"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fleetbench", flag.ContinueOnError)
+	cases := fs.String("cases", "", "comma-separated nodes:rounds ladder (default 1000:512,10000:128,100000:32,1000000:8)")
+	seed := fs.Int64("seed", 7, "fleet-generation seed")
+	workers := fs.Int("workers", 0, "compute worker bound for the timed run (0 = GOMAXPROCS)")
+	verify := fs.Bool("verify", false, "re-run every case at -verify-workers and require identical digests")
+	verifyWorkers := fs.Int("verify-workers", 4, "second worker count for the -verify determinism comparison")
+	out := fs.String("out", "BENCH_fleet.json", "output path for the JSON report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := experiment.FleetBenchParams{Seed: *seed, Workers: *workers}
+	if *cases != "" {
+		parsed, err := parseCases(*cases)
+		if err != nil {
+			return err
+		}
+		params.Cases = parsed
+	}
+
+	fmt.Printf("fleet bench: %d CPUs, GOMAXPROCS %d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	results, err := experiment.RunFleetBench(params)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("N=%-9d %5d rounds  %8.1f rounds/s  %7.1f ns/node·round  %6.0f B/node  digest %s\n",
+			r.Nodes, r.Rounds, r.RoundsPerSec, r.NsPerNodeRound, r.BytesPerNode, r.Digest)
+	}
+
+	rep := report{
+		Description: "Struct-of-arrays fleet round throughput: full compact-mode rounds (Offer→Respond→Execute→Settle→Commit) at 80% saturation prices, all nodes joining. bytes_per_node is steady-state heap (fleet columns + reusable round scratch).",
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Seed:        *seed,
+		Workers:     *workers,
+		Results:     results,
+	}
+
+	if *verify {
+		first := params.Workers
+		if first == 0 {
+			first = 1
+		}
+		second := *verifyWorkers
+		vparams := params
+		vparams.Workers = second
+		vresults, err := experiment.RunFleetBench(vparams)
+		if err != nil {
+			return fmt.Errorf("verify pass (workers=%d): %w", second, err)
+		}
+		for i := range results {
+			if results[i].Digest != vresults[i].Digest {
+				return fmt.Errorf("determinism violation at N=%d: workers=%d digest %s != workers=%d digest %s",
+					results[i].Nodes, first, results[i].Digest, second, vresults[i].Digest)
+			}
+		}
+		fmt.Printf("determinism verified: digests identical at workers=%d and workers=%d\n", first, second)
+		rep.Determinism = &determinism{Verified: true, WorkersCompared: []int{first, second}}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}
+
+// parseCases parses "1000:512,10000:128" into a case ladder.
+func parseCases(s string) ([]experiment.FleetBenchCase, error) {
+	var cases []experiment.FleetBenchCase
+	for _, tok := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(tok), ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("case %q: want nodes:rounds", tok)
+		}
+		nodes, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("case %q: %w", tok, err)
+		}
+		rounds, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("case %q: %w", tok, err)
+		}
+		cases = append(cases, experiment.FleetBenchCase{Nodes: nodes, Rounds: rounds})
+	}
+	return cases, nil
+}

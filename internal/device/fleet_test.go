@@ -1,0 +1,204 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNewFleetBatchMatchesNewFleet pins the layout contract: the same seed
+// yields the bit-identical fleet whether drawn into per-node structs or
+// directly into columns.
+func TestNewFleetBatchMatchesNewFleet(t *testing.T) {
+	spec := DefaultFleetSpec(64)
+	nodes, err := NewFleet(rand.New(rand.NewSource(7)), spec)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	fleet, err := NewFleetBatch(rand.New(rand.NewSource(7)), spec)
+	if err != nil {
+		t.Fatalf("NewFleetBatch: %v", err)
+	}
+	if fleet.Len() != len(nodes) {
+		t.Fatalf("fleet len %d, want %d", fleet.Len(), len(nodes))
+	}
+	for i, n := range nodes {
+		v := fleet.Node(i)
+		v.ID = n.ID // NewFleet numbers IDs; the column view uses the index
+		if v != *n {
+			t.Fatalf("node %d: batch view %+v != struct %+v", i, v, *n)
+		}
+	}
+}
+
+// TestFromNodesRoundTrip pins Fleet ⇄ []*Node conversion.
+func TestFromNodesRoundTrip(t *testing.T) {
+	nodes, err := NewFleet(rand.New(rand.NewSource(3)), DefaultFleetSpec(17))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	fleet := FromNodes(nodes)
+	back := fleet.Nodes()
+	for i := range nodes {
+		a, b := *nodes[i], *back[i]
+		a.ID, b.ID = 0, 0
+		if a != b {
+			t.Fatalf("node %d: round trip %+v != %+v", i, b, a)
+		}
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatalf("valid fleet rejected: %v", err)
+	}
+}
+
+// TestBestResponseRangeMatchesScalar pins the tentpole bit-identity
+// contract on a dense price grid: the batched kernel must reproduce
+// Node.BestResponseWithComm to the last ULP, including the decline paths.
+func TestBestResponseRangeMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nodes, err := NewFleet(rng, DefaultFleetSpec(40))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	fleet := FromNodes(nodes)
+	n := fleet.Len()
+	prices := make([]float64, n)
+	comm := make([]float64, n)
+	out := BatchResponse{Util: []float64{}, Energy: []float64{}}
+	out.Resize(n)
+	for trial := 0; trial < 50; trial++ {
+		for i := 0; i < n; i++ {
+			// Cover decline (non-positive price), interior, and both clip
+			// branches.
+			prices[i] = (rng.Float64()*3 - 0.2) * fleet.PriceForFreq(i, fleet.FreqMax[i])
+			comm[i] = fleet.CommTime[i] * (0.5 + rng.Float64())
+		}
+		fleet.BestResponseRange(0, n, prices, comm, nil, &out)
+		for i := 0; i < n; i++ {
+			want := nodes[i].BestResponseWithComm(prices[i], comm[i])
+			if out.Joined[i] != want.Participating ||
+				out.Freq[i] != want.Freq ||
+				out.Time[i] != want.Time ||
+				out.Payment[i] != want.Payment ||
+				out.Util[i] != want.Utility ||
+				out.Energy[i] != want.Energy {
+				t.Fatalf("trial %d node %d: batch {%v %v %v %v %v %v} != scalar %+v",
+					trial, i, out.Joined[i], out.Freq[i], out.Time[i],
+					out.Payment[i], out.Util[i], out.Energy[i], want)
+			}
+		}
+	}
+}
+
+// TestBestResponseRangeEligibleMask pins that masked nodes zero out
+// without reading the price, and stale buffer contents never leak.
+func TestBestResponseRangeEligibleMask(t *testing.T) {
+	nodes, err := NewFleet(rand.New(rand.NewSource(5)), DefaultFleetSpec(8))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	fleet := FromNodes(nodes)
+	n := fleet.Len()
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = fleet.PriceForFreq(i, fleet.FreqMax[i])
+	}
+	eligible := make([]bool, n)
+	for i := range eligible {
+		eligible[i] = i%2 == 0
+	}
+	var out BatchResponse
+	out.Resize(n)
+	// Poison the buffers to prove declined nodes are rewritten.
+	for i := range out.Freq {
+		out.Joined[i] = true
+		out.Freq[i] = math.NaN()
+		out.Time[i] = math.NaN()
+		out.Payment[i] = math.NaN()
+	}
+	fleet.BestResponseRange(0, n, prices, fleet.CommTime, eligible, &out)
+	for i := 0; i < n; i++ {
+		if !eligible[i] {
+			if out.Joined[i] || out.Freq[i] != 0 || out.Time[i] != 0 || out.Payment[i] != 0 {
+				t.Fatalf("masked node %d not zeroed: joined=%v freq=%v", i, out.Joined[i], out.Freq[i])
+			}
+			continue
+		}
+		want := nodes[i].BestResponseWithComm(prices[i], fleet.CommTime[i])
+		if out.Joined[i] != want.Participating || out.Freq[i] != want.Freq {
+			t.Fatalf("eligible node %d: %v/%v, want %v/%v", i, out.Joined[i], out.Freq[i], want.Participating, want.Freq)
+		}
+	}
+}
+
+// TestFleetColumns pins the derived-column helpers against the scalar
+// methods.
+func TestFleetColumns(t *testing.T) {
+	nodes, err := NewFleet(rand.New(rand.NewSource(2)), DefaultFleetSpec(12))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	fleet := FromNodes(nodes)
+	n := fleet.Len()
+	var wantTotal float64
+	for i, nd := range nodes {
+		if got := fleet.Workload(i); got != float64(nd.Epochs)*nd.CyclesPerBit*nd.DataBits {
+			t.Fatalf("workload %d: %v", i, got)
+		}
+		if got, want := fleet.PriceForFreq(i, 1.3e9), nd.PriceForFreq(1.3e9); got != want {
+			t.Fatalf("priceForFreq %d: %v != %v", i, got, want)
+		}
+		wantTotal += nd.PriceForFreq(nd.FreqMax)
+	}
+	if got := fleet.MaxTotalPrice(); got != wantTotal {
+		t.Fatalf("MaxTotalPrice %v != %v", got, wantTotal)
+	}
+
+	freqs := make([]float64, n)
+	prices := make([]float64, n)
+	ct := make([]float64, n)
+	ut := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = fleet.FreqMin[i] * (1 + float64(i))
+		prices[i] = fleet.PriceForFreq(i, freqs[i])
+	}
+	freqs[0] = 0 // +Inf branch
+	fleet.ComputeTimeColumn(0, n, freqs, ct)
+	fleet.UtilityColumn(0, n, prices, freqs, ut)
+	for i := 0; i < n; i++ {
+		if got, want := ct[i], nodes[i].ComputeTime(freqs[i]); got != want {
+			t.Fatalf("computeTime %d: %v != %v", i, got, want)
+		}
+		if got, want := ut[i], nodes[i].Utility(prices[i], freqs[i]); got != want {
+			t.Fatalf("utility %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestBatchResponseResize pins buffer-reuse semantics.
+func TestBatchResponseResize(t *testing.T) {
+	var b BatchResponse
+	b.Resize(4)
+	if len(b.Joined) != 4 || len(b.Freq) != 4 || b.Util != nil {
+		t.Fatalf("resize(4): joined %d freq %d util %v", len(b.Joined), len(b.Freq), b.Util)
+	}
+	prev := &b.Freq[0]
+	b.Resize(4)
+	if &b.Freq[0] != prev {
+		t.Fatal("same-size resize reallocated")
+	}
+	b.Util = []float64{}
+	b.Resize(6)
+	if len(b.Util) != 6 || len(b.Freq) != 6 {
+		t.Fatalf("resize(6): util %d freq %d", len(b.Util), len(b.Freq))
+	}
+}
+
+// TestMemoryFootprint pins the bytes/node constant the benchmark reports.
+func TestMemoryFootprint(t *testing.T) {
+	fleet := FromNodes([]*Node{testNode(), testNode()})
+	perNode := fleet.MemoryFootprint() / 2
+	if perNode != 11*8+2*8 {
+		t.Fatalf("per-node footprint %d", perNode)
+	}
+}

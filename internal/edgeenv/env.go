@@ -16,6 +16,12 @@
 // round deadline cuts stragglers; a completion quorum gates model
 // progress; and failed nodes earn a configurable fraction of their
 // contracted payment, keeping the ledger exact under churn.
+//
+// At fleet scale the environment runs on the struct-of-arrays path: pass
+// Config.Fleet (a device.Fleet built with device.NewFleetBatch) instead of
+// Config.Nodes and set CompactRounds, and every Step streams whole columns
+// through the batch kernels with zero steady-state allocation — per-node
+// structs and per-round vectors are never materialized. See DESIGN.md §13.
 package edgeenv
 
 import (
@@ -33,7 +39,20 @@ import (
 // Config parameterizes the environment.
 type Config struct {
 	// Nodes is the edge fleet. The environment never mutates nodes.
+	// Optional when Fleet is set.
 	Nodes []*device.Node
+	// Fleet is the struct-of-arrays form of the fleet. When nil it is
+	// packed once from Nodes; at fleet scale construct it directly
+	// (device.NewFleetBatch) and leave Nodes nil so per-node structs are
+	// never materialized. When both are set, column i must describe
+	// Nodes[i] — the environment trusts the caller and reads only Fleet.
+	Fleet *device.Fleet
+	// CompactRounds switches committed round records to streamed
+	// aggregates (market.Round with NumNodes/MaxTime/SumTime instead of
+	// per-node Prices/Freqs/Times/Outcomes vectors), keeping the ledger
+	// history O(1) per round. Required for million-node episodes; leave
+	// false where callers inspect per-node outcomes.
+	CompactRounds bool
 	// Accuracy produces A(ω_k); it is Reset at every episode start.
 	Accuracy accuracy.Model
 	// Budget is η, the total payment budget per episode.
@@ -124,10 +143,34 @@ func DefaultConfig(nodes []*device.Node, acc accuracy.Model, budget float64) Con
 	}
 }
 
+// DefaultFleetConfig is DefaultConfig for a struct-of-arrays fleet: the
+// paper's settings plus CompactRounds, the configuration million-node
+// benchmarks run under. Per-node structs are never materialized.
+func DefaultFleetConfig(fleet *device.Fleet, acc accuracy.Model, budget float64) Config {
+	return Config{
+		Fleet:         fleet,
+		CompactRounds: true,
+		Accuracy:      acc,
+		Budget:        budget,
+		Lambda:        2000,
+		TimeWeight:    0.3,
+		HistoryLen:    4,
+		MaxRounds:     200,
+	}
+}
+
+// numNodes resolves the fleet size from whichever layout the config carries.
+func (c Config) numNodes() int {
+	if c.Fleet != nil {
+		return c.Fleet.Len()
+	}
+	return len(c.Nodes)
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	switch {
-	case len(c.Nodes) == 0:
+	case c.numNodes() == 0:
 		return fmt.Errorf("edgeenv: no nodes")
 	case c.Accuracy == nil:
 		return fmt.Errorf("edgeenv: no accuracy model")
@@ -159,13 +202,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("edgeenv: failure payment %v outside [0,1]", c.FailurePayment)
 	case c.MinQuorum < 0:
 		return fmt.Errorf("edgeenv: min quorum %d, want >= 0", c.MinQuorum)
-	case c.MinQuorum > len(c.Nodes):
-		return fmt.Errorf("edgeenv: min quorum %d exceeds fleet size %d", c.MinQuorum, len(c.Nodes))
+	case c.MinQuorum > c.numNodes():
+		return fmt.Errorf("edgeenv: min quorum %d exceeds fleet size %d", c.MinQuorum, c.numNodes())
 	}
 	if c.Retry != nil {
 		if err := c.Retry.Validate(); err != nil {
 			return fmt.Errorf("edgeenv: %w", err)
 		}
+	}
+	if c.Fleet != nil {
+		return c.Fleet.Validate()
 	}
 	for _, n := range c.Nodes {
 		if err := n.Validate(); err != nil {
@@ -180,7 +226,8 @@ type StepResult struct {
 	// Round is the committed round record (zero-valued when Done is set by
 	// budget exhaustion, since the overrunning round is discarded). Its
 	// Outcomes field carries the per-node completed / crashed /
-	// deadline-cut / dropped / corrupted status.
+	// deadline-cut / dropped / corrupted status; under CompactRounds the
+	// record carries streamed aggregates instead of per-node vectors.
 	Round market.Round
 	// ExteriorReward is r^E_k = λΔA − TimeWeight·T_k (Eqn. 14).
 	ExteriorReward float64
@@ -195,11 +242,14 @@ type StepResult struct {
 // Env is the edge-learning environment. It is not safe for concurrent use.
 type Env struct {
 	cfg       Config
+	fleet     *device.Fleet
+	nodes     []*device.Node // lazily materialized from fleet when nil
 	ledger    *market.Ledger
 	pipe      *round.Pipeline
-	freqNorm  float64 // max ζ_max across fleet, for state normalization
-	priceNorm float64 // per-node price driving the fastest node flat out
-	timeNorm  float64 // slowest conceivable round time
+	st        *round.State // reused across Steps; see round.State.Reset
+	freqNorm  float64      // max ζ_max across fleet, for state normalization
+	priceNorm float64      // per-node price driving the fastest node flat out
+	timeNorm  float64      // slowest conceivable round time
 	round     int
 	lastAcc   float64
 	done      bool
@@ -215,15 +265,22 @@ func New(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Env{cfg: cfg, ledger: ledger, done: true}
-	for _, n := range cfg.Nodes {
-		if n.FreqMax > e.freqNorm {
-			e.freqNorm = n.FreqMax
+	fleet := cfg.Fleet
+	if fleet == nil {
+		fleet = device.FromNodes(cfg.Nodes)
+	}
+	e := &Env{cfg: cfg, fleet: fleet, nodes: cfg.Nodes, ledger: ledger, done: true}
+	// Normalization constants stream over the columns; the expressions
+	// match the old per-node loop exactly (PriceForFreq's association is
+	// the fleet's priceCoef·ζ).
+	for i := 0; i < fleet.Len(); i++ {
+		if fleet.FreqMax[i] > e.freqNorm {
+			e.freqNorm = fleet.FreqMax[i]
 		}
-		if p := n.PriceForFreq(n.FreqMax); p > e.priceNorm {
+		if p := fleet.PriceForFreq(i, fleet.FreqMax[i]); p > e.priceNorm {
 			e.priceNorm = p
 		}
-		if t := n.ComputeTime(n.FreqMin) + n.CommTime*(1+cfg.CommJitter); t > e.timeNorm {
+		if t := fleet.Workload(i)/fleet.FreqMin[i] + fleet.CommTime[i]*(1+cfg.CommJitter); t > e.timeNorm {
 			e.timeNorm = t
 		}
 	}
@@ -244,7 +301,9 @@ func New(cfg Config) (*Env, error) {
 		retry = *cfg.Retry
 	}
 	e.pipe, err = round.New(round.Config{
+		Fleet:          fleet,
 		Nodes:          cfg.Nodes,
+		Compact:        cfg.CompactRounds,
 		Churn:          cfg.Churn,
 		Availability:   cfg.Availability,
 		CommJitter:     cfg.CommJitter,
@@ -270,10 +329,22 @@ func New(cfg Config) (*Env, error) {
 func (e *Env) Pipeline() *round.Pipeline { return e.pipe }
 
 // NumNodes returns the fleet size N.
-func (e *Env) NumNodes() int { return len(e.cfg.Nodes) }
+func (e *Env) NumNodes() int { return e.fleet.Len() }
 
-// Nodes returns the fleet (callers must not mutate the nodes).
-func (e *Env) Nodes() []*device.Node { return e.cfg.Nodes }
+// Fleet returns the struct-of-arrays fleet (callers must not mutate the
+// columns).
+func (e *Env) Fleet() *device.Fleet { return e.fleet }
+
+// Nodes returns the per-node fleet view (callers must not mutate the
+// nodes). On a Fleet-only environment the structs are materialized lazily
+// on first call and cached — an O(N) cost fleet-scale callers avoid by
+// staying on Fleet's columns.
+func (e *Env) Nodes() []*device.Node {
+	if e.nodes == nil {
+		e.nodes = e.fleet.Nodes()
+	}
+	return e.nodes
+}
 
 // Ledger exposes the episode ledger for metric extraction.
 func (e *Env) Ledger() *market.Ledger { return e.ledger }
@@ -291,13 +362,7 @@ func (e *Env) Done() bool { return e.done }
 // MaxTotalPrice returns Σ_i p_i(ζ_i^max): the total per-round price that
 // drives every node at its maximum frequency. The exterior action space is
 // (0, MaxTotalPrice].
-func (e *Env) MaxTotalPrice() float64 {
-	var sum float64
-	for _, n := range e.cfg.Nodes {
-		sum += n.PriceForFreq(n.FreqMax)
-	}
-	return sum
-}
+func (e *Env) MaxTotalPrice() float64 { return e.fleet.MaxTotalPrice() }
 
 // Norms returns the fleet's state-normalization constants: the maximum
 // ζ_max across the fleet, the per-node price driving the fastest node flat
@@ -331,6 +396,11 @@ func (e *Env) Reset() error {
 // rewards and whether the episode terminated. Stepping a finished episode
 // is an error; call Reset first.
 //
+// The round State is owned by the environment and reused across Steps, so
+// a steady-state Step performs no per-node allocation (under
+// CompactRounds; vector-record mode still allocates the committed record's
+// per-node vectors, which the ledger history retains by design).
+//
 // With a fault schedule configured, each recruited node passes through the
 // Execute stage's failure pipeline: a Crash silences it (the server waits
 // out the deadline, or the node's nominal finish time when no deadline is
@@ -345,8 +415,13 @@ func (e *Env) Step(prices []float64) (StepResult, error) {
 	if e.done {
 		return StepResult{}, fmt.Errorf("edgeenv: step on finished episode")
 	}
-	n := len(e.cfg.Nodes)
-	st := round.NewState(e.round, prices, e.lastAcc, n)
+	n := e.fleet.Len()
+	if e.st == nil {
+		e.st = round.NewState(e.round, prices, e.lastAcc, n)
+	} else {
+		e.st.Reset(e.round, prices, e.lastAcc, n)
+	}
+	st := e.st
 	if err := e.pipe.Run(st); err != nil {
 		return StepResult{}, fmt.Errorf("edgeenv: %w", err)
 	}
@@ -394,7 +469,7 @@ func (e *Env) advanceRound(res *StepResult) {
 // is a uniform fraction of MaxTotalPrice — used by the Greedy baseline's
 // exploration and in tests.
 func (e *Env) RandomPrices(rng *rand.Rand) []float64 {
-	n := len(e.cfg.Nodes)
+	n := e.fleet.Len()
 	total := rng.Float64() * e.MaxTotalPrice()
 	props := make([]float64, n)
 	for i := range props {

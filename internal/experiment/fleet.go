@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"chiron/internal/device"
+	"chiron/internal/edgeenv"
+	"chiron/internal/mat"
+)
+
+// FleetBenchCase is one fleet size in a scaling sweep. Rounds shrinks as
+// Nodes grows so the total node-round count — and therefore the wall
+// clock — stays bounded at the million-node end.
+type FleetBenchCase struct {
+	Nodes  int
+	Rounds int
+}
+
+// DefaultFleetBenchCases is the BENCH_fleet scaling ladder: three decades
+// of fleet size at full round counts plus the million-node point at a
+// reduced count.
+func DefaultFleetBenchCases() []FleetBenchCase {
+	return []FleetBenchCase{
+		{Nodes: 1_000, Rounds: 512},
+		{Nodes: 10_000, Rounds: 128},
+		{Nodes: 100_000, Rounds: 32},
+		{Nodes: 1_000_000, Rounds: 8},
+	}
+}
+
+// FleetBenchParams configures a struct-of-arrays round-throughput sweep.
+type FleetBenchParams struct {
+	// Cases is the (fleet size, round count) ladder; nil selects
+	// DefaultFleetBenchCases.
+	Cases []FleetBenchCase
+	// Seed drives fleet generation (the rounds themselves are
+	// deterministic: fixed prices, no churn or fault draws).
+	Seed int64
+	// Workers bounds the compute worker pool during the run; 0 keeps the
+	// GOMAXPROCS default.
+	Workers int
+}
+
+// FleetBenchResult reports one case of the sweep.
+type FleetBenchResult struct {
+	Nodes          int     `json:"nodes"`
+	Rounds         int     `json:"rounds"`
+	Seconds        float64 `json:"seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	NsPerNodeRound float64 `json:"ns_per_node_round"`
+	// BytesPerNode is the measured steady-state heap growth per node:
+	// fleet columns plus round-state scratch, after the warm-up round
+	// sized every reusable buffer.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// Digest fingerprints every committed round aggregate; equal digests
+	// across worker counts are the determinism check CI enforces.
+	Digest string `json:"digest"`
+}
+
+// RunFleetBench drives full compact-mode rounds (Offer → Respond → Execute
+// → Settle → Commit) through edgeenv at each fleet size and measures
+// steady-state throughput. The fleet is drawn straight into columns
+// (device.NewFleetBatch) and rounds run with CompactRounds, so nothing in
+// the loop is O(N) but the batch kernels themselves; prices are fixed at
+// 80% of each node's saturation price, the all-join worst case for
+// per-round work.
+func RunFleetBench(p FleetBenchParams) ([]FleetBenchResult, error) {
+	cases := p.Cases
+	if cases == nil {
+		cases = DefaultFleetBenchCases()
+	}
+	if p.Workers != 0 {
+		mat.SetWorkers(p.Workers)
+		defer mat.SetWorkers(0)
+	}
+	results := make([]FleetBenchResult, 0, len(cases))
+	for _, c := range cases {
+		r, err := runFleetCase(c, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fleet bench n=%d: %w", c.Nodes, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func runFleetCase(c FleetBenchCase, seed int64) (FleetBenchResult, error) {
+	if c.Nodes <= 0 || c.Rounds <= 0 {
+		return FleetBenchResult{}, fmt.Errorf("case %+v: nodes and rounds must be positive", c)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	fleet, err := device.NewFleetBatch(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(c.Nodes))
+	if err != nil {
+		return FleetBenchResult{}, err
+	}
+	// The budget must survive every round: bound payments by the
+	// saturation outlay Σ p_i(ζ_i^max)·ζ_i^max per round.
+	var maxOutlay float64
+	for i := 0; i < fleet.Len(); i++ {
+		maxOutlay += fleet.PriceForFreq(i, fleet.FreqMax[i]) * fleet.FreqMax[i]
+	}
+	budget := maxOutlay*float64(c.Rounds+2) + 1
+	cfg := edgeenv.DefaultFleetConfig(fleet, &linearAccuracy{step: 1e-6}, budget)
+	cfg.MaxRounds = c.Rounds + 2
+	env, err := edgeenv.New(cfg)
+	if err != nil {
+		return FleetBenchResult{}, err
+	}
+	if err := env.Reset(); err != nil {
+		return FleetBenchResult{}, err
+	}
+	prices := make([]float64, c.Nodes)
+	for i := range prices {
+		prices[i] = fleet.PriceForFreq(i, fleet.FreqMax[i]) * 0.8
+	}
+	// One warm-up round sizes the reusable State scratch, so the timed
+	// region and the memory measurement both see the steady state.
+	if _, err := env.Step(prices); err != nil {
+		return FleetBenchResult{}, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	heapPerNode := float64(after.HeapAlloc-before.HeapAlloc) / float64(c.Nodes)
+
+	digest := fnv.New64a()
+	start := time.Now()
+	for k := 0; k < c.Rounds; k++ {
+		res, err := env.Step(prices)
+		if err != nil {
+			return FleetBenchResult{}, err
+		}
+		if res.Done {
+			return FleetBenchResult{}, fmt.Errorf("episode ended early at round %d", k)
+		}
+		for _, v := range []float64{
+			res.Round.Payment, res.Round.MaxTime, res.Round.SumTime,
+			float64(res.Round.Participants), float64(res.Round.Completed),
+		} {
+			var buf [8]byte
+			bits := math.Float64bits(v)
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(bits >> (8 * b))
+			}
+			digest.Write(buf[:])
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return FleetBenchResult{
+		Nodes:          c.Nodes,
+		Rounds:         c.Rounds,
+		Seconds:        elapsed,
+		RoundsPerSec:   float64(c.Rounds) / elapsed,
+		NsPerNodeRound: elapsed * 1e9 / float64(c.Rounds) / float64(c.Nodes),
+		BytesPerNode:   heapPerNode,
+		Digest:         fmt.Sprintf("%016x", digest.Sum64()),
+	}, nil
+}
+
+// linearAccuracy is the cheapest possible accuracy.Model: a fixed-slope
+// ramp that never allocates, keeping the benchmark's hot loop free of
+// model noise.
+type linearAccuracy struct{ acc, step float64 }
+
+func (m *linearAccuracy) Reset() (float64, error) {
+	m.acc = 0
+	return 0, nil
+}
+
+func (m *linearAccuracy) Advance(participants []int) (float64, error) {
+	m.acc += m.step
+	return m.acc, nil
+}
+
+func (m *linearAccuracy) Accuracy() float64 { return m.acc }

@@ -1,0 +1,98 @@
+package market
+
+import (
+	"math"
+	"testing"
+)
+
+// vectorRound builds a vector-record round and its compact twin carrying
+// the same aggregates, so every metric can be cross-checked.
+func vectorRound() (Round, Round) {
+	times := []float64{4, 0, 6, 2}
+	var sum, maxT float64
+	for _, v := range times {
+		sum += v
+		if v > maxT {
+			maxT = v
+		}
+	}
+	vec := Round{
+		Prices:       []float64{1, 1, 1, 1},
+		Freqs:        []float64{1e9, 0, 2e9, 5e8},
+		Times:        times,
+		Outcomes:     []Outcome{OutcomeCompleted, OutcomeAbsent, OutcomeCompleted, OutcomeCrashed},
+		Participants: 3,
+		Completed:    2,
+	}
+	compact := Round{
+		NumNodes:     len(times),
+		MaxTime:      maxT,
+		SumTime:      sum,
+		Participants: 3,
+		Completed:    2,
+	}
+	return vec, compact
+}
+
+func TestCompactDetection(t *testing.T) {
+	vec, compact := vectorRound()
+	if vec.Compact() {
+		t.Fatal("vector record reported compact")
+	}
+	if !compact.Compact() {
+		t.Fatal("compact record not detected")
+	}
+	if (&Round{}).Compact() {
+		t.Fatal("zero record reported compact")
+	}
+}
+
+// TestCompactAggregatesMatchVector pins that every metric answers
+// identically from streamed aggregates and from the per-node vectors.
+func TestCompactAggregatesMatchVector(t *testing.T) {
+	vec, compact := vectorRound()
+	if got, want := compact.RoundTime(), vec.RoundTime(); got != want {
+		t.Fatalf("RoundTime %v != %v", got, want)
+	}
+	if got, want := compact.IdleTime(), vec.IdleTime(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("IdleTime %v != %v", got, want)
+	}
+	if got, want := compact.TimeEfficiency(), vec.TimeEfficiency(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("TimeEfficiency %v != %v", got, want)
+	}
+	if got, want := compact.Failures(), vec.Failures(); got != want {
+		t.Fatalf("Failures %d != %d", got, want)
+	}
+}
+
+func TestCompactEmptyRound(t *testing.T) {
+	r := Round{NumNodes: 100}
+	if r.RoundTime() != 0 || r.IdleTime() != 0 || r.TimeEfficiency() != 0 || r.Failures() != 0 {
+		t.Fatalf("empty compact round: T=%v idle=%v eff=%v fail=%d",
+			r.RoundTime(), r.IdleTime(), r.TimeEfficiency(), r.Failures())
+	}
+}
+
+// TestLedgerAcceptsCompactRounds pins that the ledger aggregates are
+// layout-independent.
+func TestLedgerAcceptsCompactRounds(t *testing.T) {
+	l, err := NewLedger(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compact := vectorRound()
+	compact.Payment = 30
+	compact.Accuracy = 0.8
+	if err := l.Commit(compact); err != nil {
+		t.Fatalf("commit compact: %v", err)
+	}
+	if got := l.TotalTime(); got != compact.MaxTime {
+		t.Fatalf("TotalTime %v, want %v", got, compact.MaxTime)
+	}
+	if got := l.MeanTimeEfficiency(); got != compact.TimeEfficiency() {
+		t.Fatalf("MeanTimeEfficiency %v", got)
+	}
+	if got := l.FinalAccuracy(); got != 0.8 {
+		t.Fatalf("FinalAccuracy %v", got)
+	}
+}

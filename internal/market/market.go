@@ -97,10 +97,35 @@ type Round struct {
 	// Completed counts joined nodes whose updates entered aggregation.
 	// Zero-valued legacy records imply Completed == Participants.
 	Completed int
+
+	// Compact (fleet-scale) records drop the per-node vectors above and
+	// carry only the streamed reductions the episode metrics need, so the
+	// ledger history stays O(1) per round no matter how large the fleet
+	// is. NumNodes > 0 with nil vectors marks a compact record; the
+	// aggregate accessors below then answer from these fields instead of
+	// rescanning Times.
+
+	// NumNodes is N for compact records (0 on vector records, whose N is
+	// len(Times)).
+	NumNodes int
+	// MaxTime is the streamed T_k = max_i T_{i,k} of a compact record.
+	MaxTime float64
+	// SumTime is the streamed Σ_i T_{i,k} of a compact record.
+	SumTime float64
 }
 
-// Failures counts joined nodes that did not complete the round.
+// Compact reports whether the record carries streamed aggregates instead
+// of per-node vectors.
+func (r *Round) Compact() bool { return r.NumNodes > 0 && len(r.Times) == 0 }
+
+// Failures counts joined nodes that did not complete the round. Compact
+// records answer from the participant/completion counters; vector records
+// scan Outcomes (legacy nil-Outcome records report 0, implying every
+// participant completed).
 func (r *Round) Failures() int {
+	if r.Outcomes == nil && r.Compact() {
+		return r.Participants - r.Completed
+	}
 	var n int
 	for _, o := range r.Outcomes {
 		if o.Failed() {
@@ -113,6 +138,9 @@ func (r *Round) Failures() int {
 // RoundTime returns T_k = max_i T_{i,k}, the wall-clock length of the
 // round (0 when nobody participated).
 func (r *Round) RoundTime() float64 {
+	if r.Compact() {
+		return r.MaxTime
+	}
 	maxT, _ := mat.MaxVec(r.Times)
 	if maxT < 0 || len(r.Times) == 0 {
 		return 0
@@ -124,7 +152,11 @@ func (r *Round) RoundTime() float64 {
 // reward (Eqn. 15) minimizes. The sum runs over all N nodes as the paper
 // writes it: a node that declined the round has T_{i,k}=0 and is idle for
 // the whole round, so starving nodes is penalized rather than rewarded.
+// Compact records answer with the streamed form N·T_k − ΣT_{i,k}.
 func (r *Round) IdleTime() float64 {
+	if r.Compact() {
+		return float64(r.NumNodes)*r.MaxTime - r.SumTime
+	}
 	roundTime := r.RoundTime()
 	var idle float64
 	for _, t := range r.Times {
@@ -138,6 +170,12 @@ func (r *Round) IdleTime() float64 {
 // nodes, so declined rounds (T_{i,k}=0) drag efficiency down. It returns 0
 // for an empty round.
 func (r *Round) TimeEfficiency() float64 {
+	if r.Compact() {
+		if r.MaxTime <= 0 {
+			return 0
+		}
+		return r.SumTime / (float64(r.NumNodes) * r.MaxTime)
+	}
 	roundTime := r.RoundTime()
 	if roundTime <= 0 || len(r.Times) == 0 {
 		return 0

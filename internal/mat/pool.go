@@ -75,6 +75,22 @@ func serialRows(rows, flops int) bool {
 	return Workers() <= 1 || rows < 2 || flops < parallelMinFlops
 }
 
+// ParallelRange runs fn over contiguous index blocks covering [0, n) on
+// the package's bounded worker pool — the node-axis sharding primitive for
+// batch stages outside this package (the struct-of-arrays round pipeline).
+// work estimates the total scalar-operation count; small jobs, n < 2, and
+// Workers() <= 1 run inline on the caller with no synchronization.
+//
+// fn must be safe to call concurrently on disjoint ranges and must write
+// only elements it owns. Elementwise kernels are bit-identical at any
+// worker count by construction (each element is computed exactly once,
+// independent of banding); reductions must NOT be accumulated across
+// blocks inside fn — compute per-block partials and combine them in
+// block-ascending order instead, or stream the reduction sequentially.
+func ParallelRange(n, work int, fn func(lo, hi int)) {
+	parallelRows(n, work, fn)
+}
+
 // parallelRows runs fn over contiguous blocks covering [0, rows). flops
 // estimates the total multiply-accumulate work; small jobs, rows < 2, and
 // Workers() <= 1 run inline on the caller with no synchronization. The

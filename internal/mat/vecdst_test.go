@@ -1,0 +1,200 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVecDstKernels(t *testing.T) {
+	a := []float64{1, -2, 3.5, 0}
+	b := []float64{4, 0.5, -1, 8}
+	dst := make([]float64, 4)
+
+	if err := ScaleVecTo(dst, a, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != 3*a[i] {
+			t.Fatalf("scale[%d] = %v", i, dst[i])
+		}
+	}
+	if err := DivScalarVecTo(dst, a, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != a[i]/7 {
+			t.Fatalf("divScalar[%d] = %v", i, dst[i])
+		}
+	}
+	if err := AddVecTo(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != a[i]+b[i] {
+			t.Fatalf("add[%d] = %v", i, dst[i])
+		}
+	}
+	if err := MulElemVecTo(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != a[i]*b[i] {
+			t.Fatalf("mul[%d] = %v", i, dst[i])
+		}
+	}
+	if err := DivElemVecTo(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != a[i]/b[i] {
+			t.Fatalf("div[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestDivScalarVecToIsTrueDivision pins the bit-identity contract: the
+// kernel must divide per element, not multiply by a reciprocal — the two
+// differ in the last ULP for many operands.
+func TestDivScalarVecToIsTrueDivision(t *testing.T) {
+	src := []float64{1, 3, 7, 11, 1e300, 5e-324}
+	s := 49.0
+	dst := make([]float64, len(src))
+	if err := DivScalarVecTo(dst, src, s); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range src {
+		if dst[i] != v/s {
+			t.Fatalf("dst[%d] = %b, want %b", i, dst[i], v/s)
+		}
+	}
+	// Witness that the reciprocal shortcut would actually diverge here,
+	// proving the test discriminates.
+	inv := 1 / s
+	diverged := false
+	for _, v := range src {
+		if v*inv != v/s {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Skip("no reciprocal-divergent operand on this platform")
+	}
+}
+
+func TestClampVecBoundsTo(t *testing.T) {
+	src := []float64{0.5, 5, -3, 2}
+	lo := []float64{1, 1, 1, 1}
+	hi := []float64{4, 4, 4, 4}
+	dst := make([]float64, 4)
+	if err := ClampVecBoundsTo(dst, src, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 1, 2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("clampBounds[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if err := ClampVecTo(dst, src, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0.5 || dst[1] != 1 || dst[2] != 0 {
+		t.Fatalf("clamp = %v", dst)
+	}
+}
+
+func TestVecDstShapeErrors(t *testing.T) {
+	short := []float64{1}
+	full := []float64{1, 2}
+	if err := ScaleVecTo(full, short, 2); err == nil {
+		t.Fatal("scale shape mismatch accepted")
+	}
+	if err := AddVecTo(full, full, short); err == nil {
+		t.Fatal("add shape mismatch accepted")
+	}
+	if err := ClampVecBoundsTo(full, full, short, full); err == nil {
+		t.Fatal("clampBounds shape mismatch accepted")
+	}
+}
+
+func TestVecRangeReductions(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := SumVecRange(v, 2, 6); got != 4+1+5+9 {
+		t.Fatalf("SumVecRange = %v", got)
+	}
+	if got := SumVecRange(v, 3, 3); got != 0 {
+		t.Fatalf("empty SumVecRange = %v", got)
+	}
+	if got := MaxVecRange(v, 0, 5); got != 5 {
+		t.Fatalf("MaxVecRange = %v", got)
+	}
+	if got := MaxVecRange(v, 4, 4); !math.IsInf(got, -1) {
+		t.Fatalf("empty MaxVecRange = %v", got)
+	}
+	FillVec(v, 7)
+	for i := range v {
+		if v[i] != 7 {
+			t.Fatalf("fill[%d] = %v", i, v[i])
+		}
+	}
+}
+
+// TestParallelRangeCoversAllIndices pins that the exported sharding
+// primitive partitions [0,n) exactly — every index visited once — for work
+// sizes on both sides of the fan-out threshold.
+func TestParallelRangeCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ n, work int }{
+		{0, 0}, {1, 10}, {7, 100}, {1000, 1 << 20}, {1024, 1 << 20},
+	} {
+		visits := make([]int32, tc.n)
+		ParallelRange(tc.n, tc.work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visits[i]++ // disjoint ranges: no atomics needed
+			}
+		})
+		for i, c := range visits {
+			if c != 1 {
+				t.Fatalf("n=%d work=%d: index %d visited %d times", tc.n, tc.work, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelRangeDeterministicSum demonstrates the documented reduction
+// recipe: fixed-size per-block partials combined in block-ascending order
+// give the same bits at any worker count (the blocking is what fixes the
+// association, not the banding).
+func TestParallelRangeDeterministicSum(t *testing.T) {
+	n := 4096
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i)) * 1e3
+	}
+	const block = 512
+	blockSum := func() float64 {
+		partials := make([]float64, (n+block-1)/block)
+		ParallelRange(len(partials), n, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				end := (b + 1) * block
+				if end > n {
+					end = n
+				}
+				partials[b] = SumVecRange(v, b*block, end)
+			}
+		})
+		var sum float64
+		for _, p := range partials {
+			sum += p
+		}
+		return sum
+	}
+	defer SetWorkers(0)
+	SetWorkers(1)
+	ref := blockSum()
+	for _, workers := range []int{2, 4, 8} {
+		SetWorkers(workers)
+		if got := blockSum(); got != ref {
+			t.Fatalf("workers=%d: parallel sum %b != single-worker %b", workers, got, ref)
+		}
+	}
+}

@@ -35,10 +35,21 @@ func LogSquash(u, lo, hi float64) float64 {
 // SquashVec applies Squash elementwise, returning a new slice.
 func SquashVec(u []float64, lo, hi float64) []float64 {
 	out := make([]float64, len(u))
-	for i, v := range u {
-		out[i] = Squash(v, lo, hi)
-	}
+	SquashVecTo(out, u, lo, hi)
 	return out
+}
+
+// SquashVecTo applies Squash elementwise into dst (length len(u)) — the
+// destination-passing form hot rollout loops use to keep per-round action
+// transforms allocation-free at fleet scale.
+func SquashVecTo(dst, u []float64, lo, hi float64) error {
+	if len(dst) != len(u) {
+		return fmt.Errorf("policy: squash dst len %d, src len %d", len(dst), len(u))
+	}
+	for i, v := range u {
+		dst[i] = Squash(v, lo, hi)
+	}
+	return nil
 }
 
 // Clip bounds v to [lo, hi].
@@ -55,4 +66,13 @@ func SimplexProject(u []float64) ([]float64, error) {
 		return nil, fmt.Errorf("policy: simplex project: %w", err)
 	}
 	return out, nil
+}
+
+// SimplexProjectTo is SimplexProject writing into a caller-supplied dst
+// (length len(u)); dst may alias u. It allocates nothing.
+func SimplexProjectTo(dst, u []float64) error {
+	if _, err := mat.Softmax(dst, u); err != nil {
+		return fmt.Errorf("policy: simplex project: %w", err)
+	}
+	return nil
 }

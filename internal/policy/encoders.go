@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chiron/internal/edgeenv"
+	"chiron/internal/mat"
 )
 
 // An Encoder renders one feature block of an agent observation into a
@@ -49,11 +50,16 @@ func (h *HistoryEncoder) Dim() int { return 3 * h.nodes * h.window }
 // The node axis is clamped per round record: a record narrower than the
 // fleet (a round played while churn had shrunk the roster, or a legacy
 // trace) contributes zeros for the missing tail instead of panicking, so
-// the observation shape stays fixed while the fleet varies.
+// the observation shape stays fixed while the fleet varies. Compact
+// (fleet-scale aggregate) records carry no per-node vectors and encode as
+// all-zero slots — fleet-scale mechanisms condition on aggregate encoders
+// instead.
+//
+// Each {ζ, p, T} block streams through the destination-passing
+// mat.DivScalarVecTo kernel — a true per-element division, so the encoding
+// is bit-identical to the scalar loop it replaces.
 func (h *HistoryEncoder) EncodeTo(dst []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
+	mat.FillVec(dst, 0)
 	rounds := h.env.Ledger().Rounds()
 	n := h.nodes
 	for slot := 0; slot < h.window; slot++ {
@@ -69,11 +75,12 @@ func (h *HistoryEncoder) EncodeTo(dst []float64) {
 				m = l
 			}
 		}
-		for i := 0; i < m; i++ {
-			dst[base+i] = r.Freqs[i] / h.freqNorm
-			dst[base+n+i] = r.Prices[i] / h.priceNorm
-			dst[base+2*n+i] = r.Times[i] / h.timeNorm
+		if m == 0 {
+			continue
 		}
+		mat.DivScalarVecTo(dst[base:base+m], r.Freqs[:m], h.freqNorm)
+		mat.DivScalarVecTo(dst[base+n:base+n+m], r.Prices[:m], h.priceNorm)
+		mat.DivScalarVecTo(dst[base+2*n:base+2*n+m], r.Times[:m], h.timeNorm)
 	}
 }
 

@@ -16,8 +16,19 @@ import (
 // the caller (edgeenv resolves the default quorum and empty-round timeout
 // before building the pipeline).
 type Config struct {
-	// Nodes is the fleet (never mutated by the pipeline).
+	// Fleet is the struct-of-arrays fleet the batch stages run over. When
+	// nil it is packed once from Nodes. At fleet scale, construct the
+	// Fleet directly (device.NewFleetBatch) and leave Nodes nil — the
+	// pipeline never needs per-node structs.
+	Fleet *device.Fleet
+	// Nodes is the per-node fleet view (never mutated by the pipeline).
+	// Optional when Fleet is set.
 	Nodes []*device.Node
+	// Compact switches the pipeline to aggregate-only round records: no
+	// per-node vectors are allocated per round, and committed
+	// market.Rounds carry the streamed T_k/ΣT reductions instead. The
+	// fleet-scale mode; see DESIGN.md §13.
+	Compact bool
 	// Churn is the fleet-membership schedule Respond consults (nil = the
 	// paper's fixed fleet).
 	Churn faults.ChurnSchedule
@@ -45,7 +56,9 @@ type Config struct {
 // Pipeline is the assembled stage chain for one environment. It is not
 // safe for concurrent use (stages share the State and the churn RNG);
 // independent environments each own an independent pipeline, which is what
-// lets experiment sweeps run grid cells in parallel.
+// lets experiment sweeps run grid cells in parallel. (The node axis inside
+// Respond/Execute shards over the compute worker pool, but that
+// parallelism is internal to a single Run.)
 type Pipeline struct {
 	Offer   Offer
 	Respond Respond
@@ -56,8 +69,12 @@ type Pipeline struct {
 
 // New validates cfg's pipeline-critical fields and assembles the chain.
 func New(cfg Config) (*Pipeline, error) {
+	fleet := cfg.Fleet
+	if fleet == nil && len(cfg.Nodes) > 0 {
+		fleet = device.FromNodes(cfg.Nodes)
+	}
 	switch {
-	case len(cfg.Nodes) == 0:
+	case fleet == nil || fleet.Len() == 0:
 		return nil, fmt.Errorf("round: no nodes")
 	case cfg.Accuracy == nil:
 		return nil, fmt.Errorf("round: no accuracy model")
@@ -74,8 +91,9 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("round: %w", err)
 	}
 	return &Pipeline{
-		Offer: Offer{NumNodes: len(cfg.Nodes)},
+		Offer: Offer{NumNodes: fleet.Len(), Compact: cfg.Compact},
 		Respond: Respond{
+			Fleet:        fleet,
 			Nodes:        cfg.Nodes,
 			Churn:        cfg.Churn,
 			Availability: cfg.Availability,
@@ -99,6 +117,9 @@ func New(cfg Config) (*Pipeline, error) {
 		},
 	}, nil
 }
+
+// Fleet returns the struct-of-arrays fleet the pipeline runs over.
+func (p *Pipeline) Fleet() *device.Fleet { return p.Respond.Fleet }
 
 // Stages returns the chain in execution order.
 func (p *Pipeline) Stages() []Stage {

@@ -25,6 +25,26 @@
 // (states, rewards, termination) on top of this pipeline; experiment
 // sweeps therefore parallelize across environments without touching the
 // per-round economics.
+//
+// # Fleet-scale batch execution
+//
+// Internally the stages are vectorized over the struct-of-arrays
+// device.Fleet: Respond's Eqn. (11) best response and Execute's failure
+// pipeline are elementwise per node, so they shard over the bounded worker
+// pool (mat.ParallelRange) — bit-identical at any worker count because
+// each element is computed exactly once, independent of banding. Every
+// reduction (participant count, contracted-payment sum, the actual
+// payment, and the streamed T_k = max_i T_{i,k} / Σ_i T_{i,k} aggregates)
+// runs as a single sequential pass in ascending node order — the fixed
+// reduction order that keeps seeded traces byte-identical whether the
+// elementwise work ran on one worker or sixteen. RNG-consuming churn
+// draws always run in a sequential pre-pass, preserving the draw stream.
+//
+// In compact mode (Config.Compact) the per-node record vectors are not
+// materialized at all: stages write into reusable State scratch columns
+// and the committed market.Round carries only streamed aggregates, so the
+// steady state allocates nothing proportional to N — the property that
+// makes million-node rounds tractable (see DESIGN.md §13).
 package round
 
 import (
@@ -37,6 +57,14 @@ import (
 	"chiron/internal/market"
 	"chiron/internal/mat"
 )
+
+// respondFlopsPerNode estimates the scalar-operation cost of one node's
+// best response, the work hint ParallelRange uses to decide whether the
+// node axis is worth sharding.
+const respondFlopsPerNode = 24
+
+// executeFlopsPerNode estimates one node's failure-pipeline cost.
+const executeFlopsPerNode = 8
 
 // Status reports how a round left the pipeline.
 type Status int
@@ -74,7 +102,9 @@ func (s Status) String() string {
 
 // State is the blackboard one round's data flows through. Stages populate
 // it in chain order; the fields each stage owns are documented on the
-// stage types.
+// stage types. A State is reusable: Reset repositions it for the next
+// round without reallocating its per-node buffers, which is what keeps
+// steady-state allocations independent of the fleet size.
 type State struct {
 	// Index is k, the 1-based round number (drives the fault schedule).
 	Index int
@@ -84,8 +114,13 @@ type State struct {
 	// Record.Accuracy (unchanged when the quorum is missed).
 	PrevAccuracy float64
 
-	// Record is the market round being assembled.
+	// Record is the market round being assembled. In compact mode it
+	// carries only streamed aggregates (NumNodes/MaxTime/SumTime plus the
+	// scalar counters); otherwise it holds the full per-node vectors.
 	Record market.Round
+	// Compact marks the record as aggregate-only; it is set by the Offer
+	// stage from its configuration.
+	Compact bool
 	// Joined marks nodes whose best response accepted the offer.
 	Joined []bool
 	// Departing marks nodes the churn schedule removes mid-round: present
@@ -103,21 +138,99 @@ type State struct {
 	Completed []int
 	// Status is the round's terminal disposition (set by Settle or Commit).
 	Status Status
+
+	// Compact-mode scratch columns: the per-node working set that replaces
+	// the record vectors. They are sized by Offer and reused across
+	// rounds.
+	scrFreqs, scrTimes []float64
+	scrOutcomes        []market.Outcome
+	// Churn-draw scratch for Respond's sequential RNG pre-pass.
+	scrEligible []bool
+	scrComm     []float64
 }
 
 // NewState positions a fresh blackboard for round index over n nodes.
 // prices is retained by reference until Offer clones it into the record.
 func NewState(index int, prices []float64, prevAccuracy float64, n int) *State {
-	return &State{
-		Index:        index,
-		Prices:       prices,
-		PrevAccuracy: prevAccuracy,
-		Joined:       make([]bool, n),
-		Departing:    make([]bool, n),
-		ContractPay:  make([]float64, n),
-		CommTimes:    make([]float64, n),
+	st := &State{}
+	st.Reset(index, prices, prevAccuracy, n)
+	return st
+}
+
+// Reset repositions the blackboard for a new round over n nodes, reusing
+// every buffer that already has the right length — after the first round
+// of an episode, Reset allocates nothing. prices is retained by reference
+// until Offer clones it into the record (vector mode) or reads it in
+// place (compact mode).
+func (st *State) Reset(index int, prices []float64, prevAccuracy float64, n int) {
+	st.Index = index
+	st.Prices = prices
+	st.PrevAccuracy = prevAccuracy
+	st.Record = market.Round{}
+	st.Status = StatusPending
+	st.Contracted = 0
+	st.Completed = st.Completed[:0]
+	st.Joined = ensureBools(st.Joined, n)
+	st.Departing = ensureBools(st.Departing, n)
+	st.ContractPay = mat.EnsureVec(st.ContractPay, n)
+	st.CommTimes = mat.EnsureVec(st.CommTimes, n)
+	// Joined, ContractPay, and the frequency/time columns are fully
+	// overwritten by Respond's elementwise pass; Departing and CommTimes
+	// are written sparsely (present/joined nodes only), so stale entries
+	// from the previous round must be cleared here.
+	for i := range st.Departing {
+		st.Departing[i] = false
+	}
+	for i := range st.CommTimes {
+		st.CommTimes[i] = 0
 	}
 }
+
+// ensureBools returns v when it already has length n, else a fresh mask.
+func ensureBools(v []bool, n int) []bool {
+	if len(v) == n {
+		return v
+	}
+	return make([]bool, n)
+}
+
+// freqs returns the active per-node frequency column: the record's own
+// vector in vector mode, reusable scratch in compact mode.
+func (st *State) freqs() []float64 {
+	if st.Compact {
+		return st.scrFreqs
+	}
+	return st.Record.Freqs
+}
+
+// times returns the active per-node round-time column.
+func (st *State) times() []float64 {
+	if st.Compact {
+		return st.scrTimes
+	}
+	return st.Record.Times
+}
+
+// outcomes returns the active per-node outcome column.
+func (st *State) outcomes() []market.Outcome {
+	if st.Compact {
+		return st.scrOutcomes
+	}
+	return st.Record.Outcomes
+}
+
+// Freqs exposes the active frequency column (record vector or compact
+// scratch) for inspection by tests and metric extractors. Callers must
+// not retain it across rounds in compact mode — the buffer is reused.
+func (st *State) Freqs() []float64 { return st.freqs() }
+
+// Times exposes the active round-time column under the same aliasing
+// caveat as Freqs.
+func (st *State) Times() []float64 { return st.times() }
+
+// Outcomes exposes the active outcome column under the same aliasing
+// caveat as Freqs.
+func (st *State) Outcomes() []market.Outcome { return st.outcomes() }
 
 // Stage is one link of the round chain. Run mutates the State in place;
 // an error aborts the round (the caller decides episode semantics).
@@ -129,10 +242,16 @@ type Stage interface {
 }
 
 // Offer opens the round: it validates the posted price vector against the
-// fleet size and sizes the record's per-node vectors.
+// fleet size and sizes the record's per-node vectors (vector mode) or the
+// blackboard's reusable scratch columns (compact mode).
 type Offer struct {
 	// NumNodes is the fleet size N every offer must cover.
 	NumNodes int
+	// Compact switches the round to aggregate-only records: no per-node
+	// vectors are allocated, the committed market.Round carries streamed
+	// reductions, and the posted prices are read in place instead of
+	// cloned.
+	Compact bool
 }
 
 // Name implements Stage.
@@ -143,6 +262,22 @@ func (o Offer) Run(st *State) error {
 	if len(st.Prices) != o.NumNodes {
 		return fmt.Errorf("%d prices for %d nodes", len(st.Prices), o.NumNodes)
 	}
+	if o.Compact {
+		st.Compact = true
+		st.Record = market.Round{NumNodes: o.NumNodes}
+		st.scrFreqs = mat.EnsureVec(st.scrFreqs, o.NumNodes)
+		st.scrTimes = mat.EnsureVec(st.scrTimes, o.NumNodes)
+		if len(st.scrOutcomes) != o.NumNodes {
+			st.scrOutcomes = make([]market.Outcome, o.NumNodes)
+		}
+		// Freqs/Times are fully overwritten by Respond; Outcomes is
+		// written sparsely, so clear stale entries from the last round.
+		for i := range st.scrOutcomes {
+			st.scrOutcomes[i] = market.OutcomeAbsent
+		}
+		return nil
+	}
+	st.Compact = false
 	st.Record = market.Round{
 		Prices:   mat.CloneVec(st.Prices),
 		Freqs:    make([]float64, o.NumNodes),
@@ -158,14 +293,27 @@ func (o Offer) Run(st *State) error {
 // fills Joined, Departing, Freqs, the nominal Times (compute + jittered
 // upload), ContractPay, CommTimes, Contracted, and Participants.
 //
-// RNG discipline: nodes are visited in index order; each available node
-// consumes its availability draw before its jitter draw, and offline nodes
-// consume no jitter draw — the exact sequence the monolithic Step used, so
-// seeded traces stay bit-identical. Churn-absent nodes are skipped before
-// any draw — they consume nothing, exactly like offline nodes — so a nil
-// churn schedule leaves the draw stream untouched.
+// RNG discipline: the draw pre-pass visits nodes in index order; each
+// available node consumes its availability draw before its jitter draw,
+// and offline nodes consume no jitter draw — the exact sequence the
+// monolithic Step used, so seeded traces stay bit-identical. Churn-absent
+// nodes are skipped before any draw — they consume nothing, exactly like
+// offline nodes — so a nil churn schedule leaves the draw stream
+// untouched. With no churn schedule and no draws enabled, the pre-pass is
+// skipped entirely and the fleet's nominal comm-time column is used as
+// is.
+//
+// The best response itself is the batched device.Fleet kernel sharded
+// over the worker pool; the participant count and contracted-payment sum
+// are then reduced in a single ascending-index pass, so the result is
+// bit-identical to the per-node scalar loop at any worker count.
 type Respond struct {
-	// Nodes is the fleet (never mutated).
+	// Fleet is the struct-of-arrays fleet the batch kernels run over.
+	// When nil, it is derived from Nodes on each Run (a compatibility
+	// path for directly constructed stages; the pipeline always sets it).
+	Fleet *device.Fleet
+	// Nodes is the per-node fleet view (never mutated). Optional when
+	// Fleet is set.
 	Nodes []*device.Node
 	// Churn is the fleet-membership schedule (nil = fixed fleet). A node
 	// absent at this round's Offer stage is skipped entirely; a node the
@@ -188,34 +336,75 @@ func (r Respond) Name() string { return "respond" }
 
 // Run implements Stage.
 func (r Respond) Run(st *State) error {
-	for i, node := range r.Nodes {
-		if r.Churn != nil {
-			present, departs := r.Churn.Membership(st.Index, i)
-			if !present {
-				continue // outside the fleet this round: no draws, no offer
+	fleet := r.Fleet
+	if fleet == nil {
+		fleet = device.FromNodes(r.Nodes)
+	}
+	n := fleet.Len()
+
+	// Phase 1 — sequential churn/draw pre-pass. Only this phase consumes
+	// RNG, so it must visit nodes in index order; it is skipped wholesale
+	// when the round has no membership schedule and no draws, leaving the
+	// nominal comm-time column to be read in place.
+	availOn := r.Availability > 0 && r.Availability < 1
+	jitterOn := r.CommJitter > 0
+	commTimes := fleet.CommTime
+	var eligible []bool
+	if r.Churn != nil || availOn || jitterOn {
+		st.scrEligible = ensureBools(st.scrEligible, n)
+		st.scrComm = mat.EnsureVec(st.scrComm, n)
+		eligible = st.scrEligible
+		commTimes = st.scrComm
+		for i := 0; i < n; i++ {
+			eligible[i] = false
+			if r.Churn != nil {
+				present, departs := r.Churn.Membership(st.Index, i)
+				if !present {
+					continue // outside the fleet this round: no draws, no offer
+				}
+				st.Departing[i] = departs
 			}
-			st.Departing[i] = departs
+			if availOn && r.Rng.Float64() >= r.Availability {
+				continue // node offline this round
+			}
+			commTime := fleet.CommTime[i]
+			if jitterOn {
+				commTime *= 1 + (r.Rng.Float64()*2-1)*r.CommJitter
+			}
+			commTimes[i] = commTime
+			eligible[i] = true
 		}
-		if r.Availability > 0 && r.Availability < 1 && r.Rng.Float64() >= r.Availability {
-			continue // node offline this round
-		}
-		commTime := node.CommTime
-		if r.CommJitter > 0 {
-			commTime *= 1 + (r.Rng.Float64()*2-1)*r.CommJitter
-		}
-		resp := node.BestResponseWithComm(st.Prices[i], commTime)
-		if !resp.Participating {
+	}
+
+	// Phase 2 — the batched Eqn. (11) best response, sharded over the
+	// worker pool. Elementwise: bit-identical at any worker count.
+	out := device.BatchResponse{
+		Joined:  st.Joined,
+		Freq:    st.freqs(),
+		Time:    st.times(),
+		Payment: st.ContractPay,
+	}
+	prices := st.Prices
+	mat.ParallelRange(n, n*respondFlopsPerNode, func(lo, hi int) {
+		fleet.BestResponseRange(lo, hi, prices, commTimes, eligible, &out)
+	})
+
+	// Phase 3 — streaming reduction in ascending node order: the fixed
+	// order that keeps Contracted bit-identical to the scalar loop.
+	outcomes := st.outcomes()
+	participants := 0
+	var contracted float64
+	for i := 0; i < n; i++ {
+		if !st.Joined[i] {
 			continue
 		}
-		st.Record.Participants++
-		st.Record.Freqs[i] = resp.Freq
-		st.Record.Times[i] = resp.Time
-		st.Record.Outcomes[i] = market.OutcomeCompleted
-		st.Joined[i] = true
-		st.ContractPay[i] = resp.Payment
-		st.CommTimes[i] = commTime
-		st.Contracted += resp.Payment
+		participants++
+		outcomes[i] = market.OutcomeCompleted
+		st.CommTimes[i] = commTimes[i]
+		contracted += st.ContractPay[i]
 	}
+	st.Record.Participants = participants
+	st.Contracted = contracted
 	return nil
 }
 
@@ -227,6 +416,11 @@ func (r Respond) Run(st *State) error {
 // abandons the node past the retry budget, a Corrupt upload is rejected at
 // sanitization), then the server's straggler deadline, which cuts any node
 // still running. It rewrites Times and Outcomes in place.
+//
+// The per-node failure transform is pure (fault schedules answer
+// hash-derived, read-only queries), so it shards over the worker pool;
+// each node's time and outcome are written exactly once, keeping the
+// result bit-identical at any worker count.
 type Execute struct {
 	// Faults schedules per-node, per-round failures (nil disables).
 	Faults faults.Schedule
@@ -242,64 +436,73 @@ func (x Execute) Name() string { return "execute" }
 
 // Run implements Stage.
 func (x Execute) Run(st *State) error {
-	for i := range st.Joined {
-		if !st.Joined[i] {
-			continue
-		}
-		t := st.Record.Times[i]
-		outcome := market.OutcomeCompleted
-		if st.Departing != nil && st.Departing[i] {
-			// The node accepted the offer, then left the fleet mid-round:
-			// like a crash, the server learns only by waiting — until the
-			// deadline when one is set, else the node's expected finish.
-			outcome = market.OutcomeDeparted
-			if x.Deadline > 0 {
-				t = x.Deadline
+	times := st.times()
+	outcomes := st.outcomes()
+	index := st.Index
+	n := len(st.Joined)
+	mat.ParallelRange(n, n*executeFlopsPerNode, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !st.Joined[i] {
+				continue
 			}
-		} else if x.Faults != nil {
-			if f, ok := x.Faults.At(st.Index, i); ok {
-				switch f.Kind {
-				case faults.Crash:
-					outcome = market.OutcomeCrashed
-					// A crashed node goes silent: the server learns of the
-					// failure only by waiting — until the deadline when one
-					// is set, else until the node's expected finish time.
-					if x.Deadline > 0 {
-						t = x.Deadline
+			t := times[i]
+			outcome := market.OutcomeCompleted
+			if st.Departing != nil && st.Departing[i] {
+				// The node accepted the offer, then left the fleet
+				// mid-round: like a crash, the server learns only by
+				// waiting — until the deadline when one is set, else the
+				// node's expected finish.
+				outcome = market.OutcomeDeparted
+				if x.Deadline > 0 {
+					t = x.Deadline
+				}
+			} else if x.Faults != nil {
+				if f, ok := x.Faults.At(index, i); ok {
+					switch f.Kind {
+					case faults.Crash:
+						outcome = market.OutcomeCrashed
+						// A crashed node goes silent: the server learns of
+						// the failure only by waiting — until the deadline
+						// when one is set, else until the node's expected
+						// finish time.
+						if x.Deadline > 0 {
+							t = x.Deadline
+						}
+					case faults.Straggle:
+						if f.Slowdown > 1 {
+							t *= f.Slowdown
+						}
+					case faults.Drop:
+						// Each lost upload costs a re-upload plus backoff;
+						// the node is abandoned once the retry budget runs
+						// out.
+						retries := f.Attempts
+						if retries > x.Retry.MaxRetries {
+							retries = x.Retry.MaxRetries
+							outcome = market.OutcomeDropped
+						}
+						t += x.Retry.RetryTime(st.CommTimes[i], retries)
+						if outcome == market.OutcomeDropped {
+							// The final, abandoned attempt still burned its
+							// upload time before the server gave up.
+							t += st.CommTimes[i]
+						}
+					case faults.Corrupt:
+						// The upload lands on time but fails sanitization.
+						outcome = market.OutcomeCorrupted
 					}
-				case faults.Straggle:
-					if f.Slowdown > 1 {
-						t *= f.Slowdown
-					}
-				case faults.Drop:
-					// Each lost upload costs a re-upload plus backoff; the
-					// node is abandoned once the retry budget runs out.
-					retries := f.Attempts
-					if retries > x.Retry.MaxRetries {
-						retries = x.Retry.MaxRetries
-						outcome = market.OutcomeDropped
-					}
-					t += x.Retry.RetryTime(st.CommTimes[i], retries)
-					if outcome == market.OutcomeDropped {
-						// The final, abandoned attempt still burned its
-						// upload time before the server gave up.
-						t += st.CommTimes[i]
-					}
-				case faults.Corrupt:
-					// The upload lands on time but fails sanitization.
-					outcome = market.OutcomeCorrupted
 				}
 			}
-		}
-		if x.Deadline > 0 && t > x.Deadline {
-			t = x.Deadline
-			if outcome == market.OutcomeCompleted {
-				outcome = market.OutcomeDeadlineCut
+			if x.Deadline > 0 && t > x.Deadline {
+				t = x.Deadline
+				if outcome == market.OutcomeCompleted {
+					outcome = market.OutcomeDeadlineCut
+				}
 			}
+			times[i] = t
+			outcomes[i] = outcome
 		}
-		st.Record.Times[i] = t
-		st.Record.Outcomes[i] = outcome
-	}
+	})
 	return nil
 }
 
@@ -310,7 +513,10 @@ func (x Execute) Run(st *State) error {
 // wholesale per Sec. V-A (StatusBudgetExhausted) — and the actual payment
 // is accumulated in node order: full price·frequency for completed nodes,
 // the FailurePayment fraction for failed ones, keeping the ledger exact
-// under churn. Settle also fills Completed, the quorum input Commit needs.
+// under churn. Settle also fills Completed, the quorum input Commit needs,
+// and — in compact mode — streams the T_k = max_i T_{i,k} and Σ_i T_{i,k}
+// reductions into the record in the same single ascending pass, so no
+// per-node outcome ever needs to be materialized.
 type Settle struct {
 	// FailurePayment ∈ [0,1] is the fraction of a failed node's contracted
 	// payment the server still pays.
@@ -345,18 +551,33 @@ func (s Settle) Run(st *State) error {
 		st.Status = StatusBudgetExhausted
 		return nil
 	}
+	times := st.times()
+	outcomes := st.outcomes()
+	var maxTime, sumTime float64
 	for i := range st.Joined {
 		if !st.Joined[i] {
 			continue
 		}
-		if st.Record.Outcomes[i] == market.OutcomeCompleted {
+		if outcomes[i] == market.OutcomeCompleted {
 			st.Record.Payment += st.ContractPay[i]
 			st.Completed = append(st.Completed, i)
 		} else {
 			st.Record.Payment += st.ContractPay[i] * s.FailurePayment
 		}
+		t := times[i]
+		if t > maxTime {
+			maxTime = t
+		}
+		sumTime += t
 	}
 	st.Record.Completed = len(st.Completed)
+	if st.Compact {
+		// Declined nodes contribute T_{i,k} = 0, so reducing over the
+		// joined set only is exact: x + 0 = x in every term the full-fleet
+		// scan would add.
+		st.Record.MaxTime = maxTime
+		st.Record.SumTime = sumTime
+	}
 	return nil
 }
 
