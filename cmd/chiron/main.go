@@ -9,6 +9,9 @@
 //	               [-churn SCRIPT] [-depart-rate P] [-arrive-rate P]
 //	               [-auto-checkpoint DIR] [-checkpoint-every N] [-max-restarts R]
 //	chiron run     [-artifact fig3|fig4|fig5|fig6|fig7a|fig7b|tab1] [-scale F] [-jobs N]
+//	chiron run     [-scenario NAME|file.json] [-scale F] [-jobs N] [-churn SCRIPT]
+//	               [-record trace.jsonl [-mechanism M] [-budget η]]
+//	chiron replay  [-trace trace.jsonl] [-mechanism M] [-budget η] [-episodes E]
 //	chiron list
 package main
 
@@ -20,6 +23,7 @@ import (
 
 	"chiron"
 	"chiron/internal/mechanism"
+	"chiron/internal/scenario"
 	"chiron/internal/supervise"
 	"chiron/internal/trace"
 )
@@ -40,10 +44,12 @@ func run(args []string) error {
 		return cmdTrain(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
 	case "list":
 		return cmdList()
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, run, or list)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, run, replay, or list)", args[0])
 	}
 }
 
@@ -239,14 +245,31 @@ func cmdRun(args []string) error {
 	artifact := fs.String("artifact", "", "paper artifact id (fig3, fig4, fig5, fig6, fig7a, fig7b, tab1) or 'all'")
 	scale := fs.Float64("scale", 1.0, "episode-count scale factor in (0,1]; 1.0 reproduces the paper's full runs")
 	jobs := fs.Int("jobs", 1, "concurrent experiment jobs (0 = GOMAXPROCS); reports are identical at any setting")
+	scenarioArg := fs.String("scenario", "", "library scenario name or spec file (JSON); runs its full mechanism × budget grid")
+	record := fs.String("record", "", "with -scenario: record one cell's environment draws to this replayable trace file")
+	mech := fs.String("mechanism", "", "with -record: which of the scenario's mechanisms to record (default: its first)")
+	budget := fs.Float64("budget", 0, "with -record: which of the scenario's budgets to record (default: its first)")
+	churnSpec := fs.String("churn", "", "with -scenario: scripted churn plan, e.g. \"-3@5,+3@9\", for specs with no churn block")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := setFlags(fs)
 	if *jobs < 0 {
 		return fmt.Errorf("jobs %d must be >= 0 (0 = GOMAXPROCS)", *jobs)
 	}
+	if *scenarioArg != "" {
+		if *artifact != "" {
+			return fmt.Errorf("-artifact and -scenario are mutually exclusive")
+		}
+		return runScenario(*scenarioArg, *scale, *jobs, *record, *mech, *budget, *churnSpec, set)
+	}
+	for _, name := range []string{"record", "mechanism", "budget", "churn"} {
+		if set[name] {
+			return fmt.Errorf("-%s requires -scenario", name)
+		}
+	}
 	if *artifact == "" {
-		return fmt.Errorf("-artifact is required (use 'chiron list' to see ids)")
+		return fmt.Errorf("-artifact or -scenario is required (use 'chiron list' to see both)")
 	}
 	ids := []chiron.Artifact{chiron.Artifact(*artifact)}
 	if *artifact == "all" {
@@ -262,6 +285,112 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// setFlags reports which flags were explicitly given on the command line,
+// so scenario conflict checks can distinguish "user said -budget 300" from
+// the flag's default value.
+func setFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// loadScenario resolves a -scenario argument: a library name first, then a
+// spec file path.
+func loadScenario(arg string) (*scenario.Spec, error) {
+	if s, ok := scenario.Lookup(arg); ok {
+		return s, nil
+	}
+	s, err := scenario.Load(arg)
+	if err != nil {
+		if _, statErr := os.Stat(arg); os.IsNotExist(statErr) {
+			return nil, fmt.Errorf("%q is neither a library scenario (see 'chiron list') nor a readable spec file: %w", arg, err)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// runScenario executes (or records) a declarative scenario. Flags that
+// contradict what the loaded spec already pins are hard errors — a spec is
+// the experiment's single source of truth, so the CLI never silently
+// prefers one side.
+func runScenario(arg string, scale float64, jobs int, record, mech string, budget float64, churnSpec string, set map[string]bool) error {
+	s, err := loadScenario(arg)
+	if err != nil {
+		return err
+	}
+	if set["churn"] {
+		if s.Churn != nil {
+			return fmt.Errorf("scenario %s already declares a churn block; -churn contradicts it (edit the spec instead)", s.Name)
+		}
+		s.Churn = &scenario.ChurnSpec{Script: churnSpec}
+	}
+	if scale != 1.0 {
+		s = s.Scale(scale)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if record == "" {
+		for _, name := range []string{"mechanism", "budget"} {
+			if set[name] {
+				return fmt.Errorf("scenario %s fixes its own %s grid; -%s only selects the cell to -record", s.Name, name, name)
+			}
+		}
+		res, err := scenario.Run(s, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Summary())
+		return nil
+	}
+	tw, err := trace.Create(record)
+	if err != nil {
+		return err
+	}
+	rec, err := scenario.Record(s, mech, budget, tw)
+	if cerr := tw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded scenario %s: %s at η=%g, %d episodes → %s (digest %s)\n",
+		s.Name, rec.Mechanism, rec.Budget, len(rec.Episodes), record, rec.Digest())
+	return nil
+}
+
+// cmdReplay re-runs a recorded trace's environment draws, either with the
+// recorded mechanism and budget (bit-identical reproduction) or against a
+// counterfactual mechanism/budget.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "replayable trace file written by 'chiron run -scenario ... -record'")
+	mech := fs.String("mechanism", "", "counterfactual mechanism (default: the recorded one)")
+	budget := fs.Float64("budget", 0, "counterfactual budget η (default: the recorded one)")
+	episodes := fs.Int("episodes", 0, "episodes to replay (default: as recorded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := trace.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Replay(tr, scenario.ReplayOptions{
+		Mechanism: *mech,
+		Budget:    *budget,
+		Episodes:  *episodes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	return nil
+}
+
 func cmdList() error {
 	fmt.Println("reproduced paper artifacts:")
 	for _, a := range chiron.Artifacts() {
@@ -270,6 +399,10 @@ func cmdList() error {
 	fmt.Println("ablation studies:")
 	for _, a := range chiron.ExtraArtifacts() {
 		fmt.Printf("  %-10s %s\n", a, chiron.DescribeArtifact(a))
+	}
+	fmt.Println("named scenarios (run -scenario <name>):")
+	for _, s := range scenario.Describe() {
+		fmt.Printf("  %-18s %s\n", s[0], s[1])
 	}
 	return nil
 }

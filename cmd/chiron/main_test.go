@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chiron/internal/scenario"
+)
+
+// TestRunFlagScenarioConflicts pins the contract that CLI flags may never
+// silently override (or be overridden by) a loaded scenario spec: every
+// contradictory combination is a hard error naming the conflict.
+func TestRunFlagScenarioConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"artifact and scenario",
+			[]string{"run", "-artifact", "fig4", "-scenario", "paper-baseline"},
+			"mutually exclusive",
+		},
+		{
+			"churn flag vs scenario churn block",
+			[]string{"run", "-scenario", "churny-fleet", "-churn", "-3@5,+3@9"},
+			"already declares a churn block",
+		},
+		{
+			"budget vs scenario budget grid",
+			[]string{"run", "-scenario", "paper-baseline", "-budget", "500"},
+			"fixes its own budget grid",
+		},
+		{
+			"mechanism vs scenario mechanism grid",
+			[]string{"run", "-scenario", "paper-baseline", "-mechanism", "greedy"},
+			"fixes its own mechanism grid",
+		},
+		{
+			"record without scenario",
+			[]string{"run", "-artifact", "fig4", "-record", "t.jsonl"},
+			"requires -scenario",
+		},
+		{
+			"churn without scenario",
+			[]string{"run", "-artifact", "fig4", "-churn", "-3@5"},
+			"requires -scenario",
+		},
+		{
+			"neither artifact nor scenario",
+			[]string{"run"},
+			"-artifact or -scenario is required",
+		},
+		{
+			"unknown scenario",
+			[]string{"run", "-scenario", "no-such-thing"},
+			"neither a library scenario",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want conflict error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error = %q, want it to mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioRecordReplayCLI drives the full CLI loop on a tiny spec
+// file: run -scenario -record writes a replayable trace, and replay
+// accepts it with and without a counterfactual mechanism.
+func TestScenarioRecordReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	s, ok := scenario.Lookup("paper-baseline")
+	if !ok {
+		t.Fatal("paper-baseline missing from library")
+	}
+	s.Name = "cli-smoke"
+	s.Budgets = []float64{80}
+	s.EvalEpisodes = 1
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	specPath := filepath.Join(dir, "smoke.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatalf("write spec: %v", err)
+	}
+	tracePath := filepath.Join(dir, "smoke.jsonl")
+	if err := run([]string{"run", "-scenario", specPath, "-record", tracePath}); err != nil {
+		t.Fatalf("run -scenario -record: %v", err)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("recorded trace missing: %v", err)
+	}
+	if err := run([]string{"replay", "-trace", tracePath}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := run([]string{"replay", "-trace", tracePath, "-mechanism", "equal-time"}); err != nil {
+		t.Fatalf("counterfactual replay: %v", err)
+	}
+	if err := run([]string{"replay"}); err == nil {
+		t.Error("replay without -trace succeeded")
+	}
+}

@@ -82,8 +82,21 @@ type Config struct {
 	// the churn real edge fleets exhibit.
 	Availability float64
 	// Rng drives CommJitter and Availability draws. Required when either
-	// is enabled.
+	// is enabled, unless Draws replays them instead.
 	Rng *rand.Rand
+	// Bandwidth is a time-varying uplink regime: each round, every node's
+	// nominal upload time is scaled by Bandwidth.Factor(round) before the
+	// jitter draw. Nil keeps the constant nominal bandwidth.
+	Bandwidth round.BandwidthSchedule
+	// Draws, when non-nil, replays recorded environment draws: membership,
+	// availability, and jitter come from the source verbatim and the RNG,
+	// churn schedule, and bandwidth regime are never consulted. The
+	// counterfactual-replay hook (internal/scenario layers a trace-backed
+	// source over this).
+	Draws round.DrawSource
+	// DrawRecorder, when non-nil, observes every round's resolved draw
+	// columns — the exact inputs a Draws source must later reproduce.
+	DrawRecorder round.DrawRecorder
 	// Faults schedules per-node, per-round failures (crash, straggle,
 	// upload drop, update corruption). Nil disables fault injection; a
 	// faults.Sampler keeps sampled runs seed-deterministic and a
@@ -190,7 +203,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("edgeenv: comm jitter %v outside [0,1)", c.CommJitter)
 	case c.Availability < 0 || c.Availability > 1:
 		return fmt.Errorf("edgeenv: availability %v outside [0,1]", c.Availability)
-	case (c.CommJitter > 0 || (c.Availability > 0 && c.Availability < 1)) && c.Rng == nil:
+	case (c.CommJitter > 0 || (c.Availability > 0 && c.Availability < 1)) && c.Rng == nil && c.Draws == nil:
 		return fmt.Errorf("edgeenv: CommJitter/Availability require a Rng")
 	case c.RoundDeadline < 0:
 		return fmt.Errorf("edgeenv: round deadline %v, want >= 0", c.RoundDeadline)
@@ -308,6 +321,9 @@ func New(cfg Config) (*Env, error) {
 		Availability:   cfg.Availability,
 		CommJitter:     cfg.CommJitter,
 		Rng:            cfg.Rng,
+		Bandwidth:      cfg.Bandwidth,
+		Draws:          cfg.Draws,
+		Recorder:       cfg.DrawRecorder,
 		Faults:         cfg.Faults,
 		Deadline:       cfg.RoundDeadline,
 		Retry:          retry,

@@ -96,7 +96,7 @@ func chironEvalRow(env *edgeenv.Env, seed int64, scale float64, evalEpisodes int
 	if err != nil {
 		return evalResult{}, err
 	}
-	summary, err := mechanism.TrainAndEvaluate(ch, scaleCount(500, scale), evalEpisodes)
+	summary, err := mechanism.TrainAndEvaluate(ch, ScaleCount(500, scale), evalEpisodes)
 	if err != nil {
 		return evalResult{}, err
 	}
@@ -213,7 +213,7 @@ func trainFrozenChiron(seed int64, scale float64) (*core.Checkpoint, []*device.N
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := ch.Train(scaleCount(500, scale), nil); err != nil {
+	if _, err := ch.Train(ScaleCount(500, scale), nil); err != nil {
 		return nil, nil, err
 	}
 	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(5))
@@ -395,7 +395,7 @@ func runFaultSweep(scale float64, jobs int) (string, error) {
 // of federated rounds per split. One job per split, each owning its own
 // trainer and seeded dataset.
 func runNonIIDAblation(scale float64, jobs int) (string, error) {
-	rounds := scaleCount(30, scale)
+	rounds := ScaleCount(30, scale)
 	splits := []struct {
 		name string
 		part dataset.Partitioner

@@ -51,12 +51,15 @@ func (p ComparisonParams) Validate() error {
 // letting benchmarks run reduced versions of the full experiment.
 func (p ComparisonParams) Scale(f float64) ComparisonParams {
 	scaled := p
-	scaled.TrainEpisodes = scaleCount(p.TrainEpisodes, f)
-	scaled.EvalEpisodes = scaleCount(p.EvalEpisodes, f)
+	scaled.TrainEpisodes = ScaleCount(p.TrainEpisodes, f)
+	scaled.EvalEpisodes = ScaleCount(p.EvalEpisodes, f)
 	return scaled
 }
 
-func scaleCount(n int, f float64) int {
+// ScaleCount multiplies an episode count by f, clamping nonzero counts to a
+// minimum of 1 — the shared scaling rule every parameter set (and the
+// scenario compiler) applies so reduced runs still train and evaluate.
+func ScaleCount(n int, f float64) int {
 	if n == 0 {
 		return 0
 	}
@@ -175,7 +178,7 @@ func (p ConvergenceParams) Validate() error {
 // Scale returns a copy with the episode count multiplied by f (minimum 1).
 func (p ConvergenceParams) Scale(f float64) ConvergenceParams {
 	scaled := p
-	scaled.Episodes = scaleCount(p.Episodes, f)
+	scaled.Episodes = ScaleCount(p.Episodes, f)
 	return scaled
 }
 

@@ -35,8 +35,17 @@ type Config struct {
 	// Availability and CommJitter parameterize the churn draws of Respond.
 	Availability float64
 	CommJitter   float64
-	// Rng drives the churn draws (required when either is enabled).
+	// Rng drives the churn draws (required when either is enabled, unless
+	// Draws replays them).
 	Rng *rand.Rand
+	// Bandwidth is the per-round uplink regime (nil = nominal bandwidth).
+	Bandwidth BandwidthSchedule
+	// Draws replays recorded environment draws instead of consulting the
+	// churn schedule and RNG (see Respond.Draws).
+	Draws DrawSource
+	// Recorder observes every round's resolved draw columns (see
+	// Respond.Recorder).
+	Recorder DrawRecorder
 	// Faults, Deadline, and Retry parameterize Execute.
 	Faults   faults.Schedule
 	Deadline float64
@@ -84,7 +93,7 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("round: min quorum %d, want >= 1", cfg.MinQuorum)
 	case cfg.EmptyTimeout <= 0:
 		return nil, fmt.Errorf("round: empty-round timeout %v, want > 0", cfg.EmptyTimeout)
-	case (cfg.CommJitter > 0 || (cfg.Availability > 0 && cfg.Availability < 1)) && cfg.Rng == nil:
+	case (cfg.CommJitter > 0 || (cfg.Availability > 0 && cfg.Availability < 1)) && cfg.Rng == nil && cfg.Draws == nil:
 		return nil, fmt.Errorf("round: churn draws require a Rng")
 	}
 	if err := cfg.Retry.Validate(); err != nil {
@@ -99,6 +108,9 @@ func New(cfg Config) (*Pipeline, error) {
 			Availability: cfg.Availability,
 			CommJitter:   cfg.CommJitter,
 			Rng:          cfg.Rng,
+			Bandwidth:    cfg.Bandwidth,
+			Draws:        cfg.Draws,
+			Recorder:     cfg.Recorder,
 		},
 		Execute: Execute{
 			Faults:   cfg.Faults,

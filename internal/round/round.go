@@ -287,6 +287,37 @@ func (o Offer) Run(st *State) error {
 	return nil
 }
 
+// BandwidthSchedule models a time-varying uplink regime: Factor(round)
+// scales every node's nominal upload time for that round, before the
+// per-node jitter draw. Implementations must be pure functions of the
+// round index so scheduled regimes replay exactly. Factor must return a
+// positive value; 1 is the nominal bandwidth.
+type BandwidthSchedule interface {
+	Factor(round int) float64
+}
+
+// DrawSource replays recorded environment draws: instead of consulting the
+// churn schedule and the RNG, Respond asks the source for the round's
+// resolved (eligible, departing, commTimes) columns. Eligible marks nodes
+// that receive the offer (present and available), Departing the mid-round
+// departures, and CommTimes each eligible node's post-jitter upload time.
+// The returned slices are read for the current round only and must each
+// have length n. A source may synthesize draws for rounds beyond its
+// recording (counterfactual replays can outlive the recorded episode) or
+// return an error to fail the round.
+type DrawSource interface {
+	RoundDraws(round, n int) (eligible, departing []bool, commTimes []float64, err error)
+}
+
+// DrawRecorder observes each round's resolved draw columns — the exact
+// inputs a DrawSource must reproduce. The slices are owned by the pipeline
+// and reused across rounds; implementations must copy. CommTimes entries of
+// non-eligible nodes are zeroed before the call so recordings carry no
+// stale scratch values.
+type DrawRecorder interface {
+	RecordDraws(round int, eligible, departing []bool, commTimes []float64)
+}
+
 // Respond plays the fleet's side of the round: per node, a fleet-membership
 // lookup against the churn schedule, an availability draw, a bandwidth-
 // jitter draw, and the Eqn. (11) best response to the posted price. It
@@ -327,8 +358,21 @@ type Respond struct {
 	// [1−CommJitter, 1+CommJitter]; 0 disables the draw.
 	CommJitter float64
 	// Rng drives the availability and jitter draws. Required when either
-	// is enabled.
+	// is enabled, unless Draws replays them instead.
 	Rng *rand.Rand
+	// Bandwidth scales the fleet's nominal upload times per round (nil =
+	// constant nominal bandwidth). The factor applies before the jitter
+	// draw, so jitter stays a relative perturbation of the regime.
+	Bandwidth BandwidthSchedule
+	// Draws, when non-nil, replaces the entire draw pre-pass: membership,
+	// availability, and jitter come from the source verbatim and the RNG,
+	// churn schedule, and bandwidth regime are not consulted. The replay
+	// hook.
+	Draws DrawSource
+	// Recorder, when non-nil, observes every round's resolved draw columns
+	// (forcing the pre-pass so the columns exist even for a clean fleet).
+	// The record hook.
+	Recorder DrawRecorder
 }
 
 // Name implements Stage.
@@ -345,18 +389,42 @@ func (r Respond) Run(st *State) error {
 	// Phase 1 — sequential churn/draw pre-pass. Only this phase consumes
 	// RNG, so it must visit nodes in index order; it is skipped wholesale
 	// when the round has no membership schedule and no draws, leaving the
-	// nominal comm-time column to be read in place.
+	// nominal comm-time column to be read in place. A DrawSource replaces
+	// the pre-pass entirely: the replayed columns carry the resolved
+	// membership, availability, and jitter of the recorded run, so the RNG
+	// is never touched. A DrawRecorder forces the pre-pass (consuming no
+	// extra RNG) so the columns exist even for a clean fleet.
 	availOn := r.Availability > 0 && r.Availability < 1
 	jitterOn := r.CommJitter > 0
 	commTimes := fleet.CommTime
 	var eligible []bool
-	if r.Churn != nil || availOn || jitterOn {
+	if r.Draws != nil {
+		elig, departing, comm, err := r.Draws.RoundDraws(st.Index, n)
+		if err != nil {
+			return fmt.Errorf("replay draws for round %d: %w", st.Index, err)
+		}
+		if len(elig) != n || len(comm) != n || (departing != nil && len(departing) != n) {
+			return fmt.Errorf("replay draws for round %d: columns sized %d/%d/%d, want %d",
+				st.Index, len(elig), len(departing), len(comm), n)
+		}
+		eligible, commTimes = elig, comm
+		if departing != nil {
+			copy(st.Departing, departing)
+		}
+	} else if r.Churn != nil || availOn || jitterOn || r.Bandwidth != nil || r.Recorder != nil {
+		bw := 1.0
+		if r.Bandwidth != nil {
+			if bw = r.Bandwidth.Factor(st.Index); bw <= 0 {
+				return fmt.Errorf("bandwidth factor %v at round %d, want > 0", bw, st.Index)
+			}
+		}
 		st.scrEligible = ensureBools(st.scrEligible, n)
 		st.scrComm = mat.EnsureVec(st.scrComm, n)
 		eligible = st.scrEligible
 		commTimes = st.scrComm
 		for i := 0; i < n; i++ {
 			eligible[i] = false
+			commTimes[i] = 0
 			if r.Churn != nil {
 				present, departs := r.Churn.Membership(st.Index, i)
 				if !present {
@@ -367,13 +435,16 @@ func (r Respond) Run(st *State) error {
 			if availOn && r.Rng.Float64() >= r.Availability {
 				continue // node offline this round
 			}
-			commTime := fleet.CommTime[i]
+			commTime := fleet.CommTime[i] * bw
 			if jitterOn {
 				commTime *= 1 + (r.Rng.Float64()*2-1)*r.CommJitter
 			}
 			commTimes[i] = commTime
 			eligible[i] = true
 		}
+	}
+	if r.Recorder != nil && r.Draws == nil {
+		r.Recorder.RecordDraws(st.Index, eligible, st.Departing, commTimes)
 	}
 
 	// Phase 2 — the batched Eqn. (11) best response, sharded over the

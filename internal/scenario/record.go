@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"os"
+
+	"chiron/internal/experiment"
+	"chiron/internal/mechanism"
+	"chiron/internal/trace"
+)
+
+// EpisodeSet is the common shape of a recorded or replayed evaluation: the
+// per-episode summaries and per-round records of one (mechanism, budget)
+// cell, with a ULP-sensitive digest over all of it. Same-mechanism replay
+// must reproduce the recorded set bit-for-bit — the property the replay
+// conformance tests and the propcheck suite pin.
+type EpisodeSet struct {
+	Scenario  string
+	Mechanism string
+	Budget    float64
+	Episodes  []mechanism.EpisodeResult
+	Rounds    []trace.RoundRecord
+}
+
+// hashRoundRecord folds one round record into h bit-exactly.
+func hashRoundRecord(h hash.Hash64, r *trace.RoundRecord) {
+	hashInts(h, r.Episode, r.Round, r.Participants, r.Completed)
+	hashFloats(h, r.Payment, r.Accuracy)
+	hashFloats(h, r.Prices...)
+	hashFloats(h, r.Freqs...)
+	hashFloats(h, r.Times...)
+	for _, o := range r.Outcomes {
+		h.Write([]byte(o))
+	}
+}
+
+// Digest returns a ULP-sensitive FNV-1a fingerprint over every episode
+// summary and every per-round vector of the set.
+func (s *EpisodeSet) Digest() string {
+	h := fnv.New64a()
+	h.Write([]byte(s.Scenario))
+	h.Write([]byte(s.Mechanism))
+	hashFloats(h, s.Budget)
+	hashInts(h, len(s.Episodes), len(s.Rounds))
+	for _, e := range s.Episodes {
+		hashResult(h, e)
+	}
+	for i := range s.Rounds {
+		hashRoundRecord(h, &s.Rounds[i])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// saveCheckpointBytes round-trips a mechanism checkpoint through a temp
+// file (the Checkpointer surface is path-based) and returns its JSON.
+func saveCheckpointBytes(cp mechanism.Checkpointer) (json.RawMessage, error) {
+	f, err := os.CreateTemp("", "chiron-ckpt-*.json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: checkpoint temp: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := cp.SaveCheckpoint(path); err != nil {
+		return nil, fmt.Errorf("scenario: save checkpoint: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+// loadCheckpointBytes restores a checkpoint blob into cp via a temp file.
+func loadCheckpointBytes(cp mechanism.Checkpointer, data []byte) error {
+	f, err := os.CreateTemp("", "chiron-ckpt-*.json")
+	if err != nil {
+		return fmt.Errorf("scenario: checkpoint temp: %w", err)
+	}
+	path := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("scenario: write checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("scenario: write checkpoint: %w", err)
+	}
+	defer os.Remove(path)
+	if err := cp.LoadCheckpoint(path); err != nil {
+		return fmt.Errorf("scenario: load checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Record runs one (mechanism, budget) cell of the scenario with the round
+// pipeline's draw capture enabled and streams a replayable trace to tw:
+// a versioned header embedding the spec and the mechanism's post-training
+// checkpoint, then — per evaluation episode — every round's environment
+// draws, the committed round records, and the episode summary.
+//
+// mech selects the recorded mechanism ("" = the spec's first); budget
+// selects the cell (0 = the spec's first). Training episodes run with
+// capture disabled — only the deterministic evaluation is recorded. Before
+// each evaluation episode the accuracy RNG is reseeded from
+// evalSeed(seed, ep), making each episode's measurement-noise stream
+// independently reproducible: the exact discipline Replay repeats.
+func Record(s *Spec, mech string, budget float64, tw *trace.Writer) (*EpisodeSet, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if mech == "" {
+		mech = s.Mechanisms[0]
+	}
+	kind, err := MechanismKind(mech)
+	if err != nil {
+		return nil, err
+	}
+	if budget == 0 {
+		budget = s.Budgets[0]
+	}
+	rec := &recorder{}
+	env, accRng, err := s.BuildEnv(budget, envHooks{recorder: rec})
+	if err != nil {
+		return nil, err
+	}
+	m, err := experiment.BuildMechanism(kind, env, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: mechanism: %w", err)
+	}
+	if t, ok := m.(mechanism.Trainable); ok && s.TrainEpisodes > 0 {
+		if _, err := t.Train(s.TrainEpisodes, nil); err != nil {
+			return nil, fmt.Errorf("scenario: train %s: %w", m.Name(), err)
+		}
+	}
+	header := trace.HeaderRecord{
+		Mechanism:    kind.String(),
+		Budget:       budget,
+		Seed:         s.Seed,
+		Nodes:        s.NumNodes(),
+		EvalEpisodes: s.EvalEpisodes,
+	}
+	if header.Scenario, err = json.Marshal(s); err != nil {
+		return nil, fmt.Errorf("scenario: marshal spec: %w", err)
+	}
+	if cp, ok := m.(mechanism.Checkpointer); ok {
+		if header.Checkpoint, err = saveCheckpointBytes(cp); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.WriteHeader(header); err != nil {
+		return nil, err
+	}
+	out := &EpisodeSet{Scenario: s.Name, Mechanism: kind.String(), Budget: budget}
+	for ep := 1; ep <= s.EvalEpisodes; ep++ {
+		accRng.Seed(evalSeed(s.Seed, ep))
+		rec.begin(ep)
+		res, err := m.RunEpisode(false)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: record episode %d: %w", ep, err)
+		}
+		res.Episode = ep
+		for _, d := range rec.recs {
+			if err := tw.WriteDraws(d); err != nil {
+				return nil, err
+			}
+		}
+		rounds := env.Ledger().Rounds()
+		for i := range rounds {
+			if err := tw.WriteRound(ep, &rounds[i]); err != nil {
+				return nil, err
+			}
+			out.Rounds = append(out.Rounds, trace.NewRoundRecord(ep, &rounds[i]))
+		}
+		if err := tw.WriteEpisode(res); err != nil {
+			return nil, err
+		}
+		out.Episodes = append(out.Episodes, res)
+	}
+	rec.enabled = false
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"chiron/internal/experiment"
+	"chiron/internal/mechanism"
+)
+
+// CellResult is one (mechanism, budget) grid cell's evaluation.
+type CellResult struct {
+	Mechanism string
+	Budget    float64
+	Result    mechanism.EpisodeResult
+}
+
+// Result is a full scenario run: the mechanism × budget grid in budget-major
+// order, the layout the conformance suite digests.
+type Result struct {
+	Name  string
+	Nodes int
+	Cells []CellResult
+}
+
+// Run compiles the spec and executes its mechanism × budget grid on the
+// experiment plan scheduler: every cell is an independent job (own
+// environment, own training), workers bounds concurrency (1 = serial, 0 =
+// GOMAXPROCS), and the result is byte-identical at any worker count — the
+// invariant the conformance goldens pin.
+func Run(s *Spec, workers int) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		mech   string
+		kind   experiment.MechanismKind
+		budget float64
+	}
+	cells := make([]cell, 0, len(s.Budgets)*len(s.Mechanisms))
+	jobs := make([]experiment.Job[mechanism.EpisodeResult], 0, cap(cells))
+	for _, budget := range s.Budgets {
+		for _, name := range s.Mechanisms {
+			kind, err := MechanismKind(name)
+			if err != nil {
+				return nil, err
+			}
+			budget := budget
+			cells = append(cells, cell{mech: kind.String(), kind: kind, budget: budget})
+			jobs = append(jobs, experiment.Job[mechanism.EpisodeResult]{
+				Label: fmt.Sprintf("%s %s η=%v seed=%d", s.Name, kind, budget, s.Seed),
+				Run: func() (mechanism.EpisodeResult, error) {
+					env, _, err := s.BuildEnv(budget, envHooks{})
+					if err != nil {
+						return mechanism.EpisodeResult{}, err
+					}
+					m, err := experiment.BuildMechanism(kind, env, s.Seed)
+					if err != nil {
+						return mechanism.EpisodeResult{}, err
+					}
+					return mechanism.TrainAndEvaluate(m, s.TrainEpisodes, s.EvalEpisodes)
+				},
+			})
+		}
+	}
+	results, err := experiment.Plan[mechanism.EpisodeResult]{
+		Name:    "scenario:" + s.Name,
+		Jobs:    jobs,
+		Workers: workers,
+	}.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: s.Name, Nodes: s.NumNodes()}
+	for i, c := range cells {
+		out.Cells = append(out.Cells, CellResult{Mechanism: c.mech, Budget: c.budget, Result: results[i]})
+	}
+	return out, nil
+}
+
+// hashFloats folds float64 values into h bit-exactly: any one-ULP drift in
+// any value changes the digest.
+func hashFloats(h hash.Hash64, vals ...float64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}
+
+// hashInts folds integers into h.
+func hashInts(h hash.Hash64, vals ...int) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+}
+
+// hashResult folds one episode result into h, every field bit-exact.
+func hashResult(h hash.Hash64, r mechanism.EpisodeResult) {
+	hashInts(h, r.Episode, r.Rounds)
+	hashFloats(h, r.FinalAccuracy, r.ExteriorReturn, r.DiscountedReturn,
+		r.InnerReturn, r.TimeEfficiency, r.TotalTime, r.BudgetSpent, r.ServerUtility)
+}
+
+// Digest returns a ULP-sensitive FNV-1a fingerprint of the full grid: cell
+// order, mechanism names, budgets, and every result field at exact bits.
+// Two runs agree on the digest iff they agree on every float of every cell.
+func (r *Result) Digest() string {
+	h := fnv.New64a()
+	h.Write([]byte(r.Name))
+	hashInts(h, r.Nodes, len(r.Cells))
+	for _, c := range r.Cells {
+		h.Write([]byte(c.Mechanism))
+		hashFloats(h, c.Budget)
+		hashResult(h, c.Result)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Summary renders the grid as the stable text form the conformance goldens
+// pin: one line per cell (rounded for human diffing) plus the exact-bits
+// digest line, so a golden mismatch is readable and a sub-rounding drift is
+// still caught.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d nodes, %d cells\n", r.Name, r.Nodes, len(r.Cells))
+	for _, c := range r.Cells {
+		res := c.Result
+		fmt.Fprintf(&b, "  %-16s eta=%-8.6g rounds=%-4d acc=%.6f extret=%.6g spend=%.6g teff=%.6f util=%.6g\n",
+			c.Mechanism, c.Budget, res.Rounds, res.FinalAccuracy, res.ExteriorReturn,
+			res.BudgetSpent, res.TimeEfficiency, res.ServerUtility)
+	}
+	fmt.Fprintf(&b, "digest %s\n", r.Digest())
+	return b.String()
+}

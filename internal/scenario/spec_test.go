@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"chiron/internal/experiment"
+)
+
+// validSpec returns a minimal well-formed spec the invalid cases mutate.
+func validSpec() *Spec {
+	return &Spec{
+		Name:         "test",
+		Dataset:      "mnist",
+		Seed:         1,
+		Classes:      []DeviceClass{{Profile: "paper", Count: 3}},
+		Budgets:      []float64{100},
+		Mechanisms:   []string{"uniform"},
+		EvalEpisodes: 1,
+	}
+}
+
+func TestValidateAcceptsLibrary(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := Lookup(name)
+		if err := s.Validate(); err != nil {
+			t.Errorf("library scenario %s invalid: %v", name, err)
+		}
+	}
+}
+
+// TestValidateTable drives every malformed-spec class through Validate and
+// checks both that it is rejected and that the typed sentinel (when one
+// applies) survives wrapping, so callers can errors.Is-match failures.
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   error // nil = any error
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, nil},
+		{"unknown dataset", func(s *Spec) { s.Dataset = "imagenet" }, ErrUnknownDataset},
+		{"no classes", func(s *Spec) { s.Classes = nil }, ErrEmptyFleet},
+		{"zero-count classes", func(s *Spec) { s.Classes[0].Count = 0 }, nil},
+		{"unknown profile", func(s *Spec) { s.Classes[0].Profile = "mainframe" }, ErrUnknownClass},
+		{"negative class scale", func(s *Spec) { s.Classes[0].FreqScale = -1 }, nil},
+		{"no budgets", func(s *Spec) { s.Budgets = nil }, ErrNegativeBudget},
+		{"negative budget", func(s *Spec) { s.Budgets = []float64{100, -5} }, ErrNegativeBudget},
+		{"zero budget", func(s *Spec) { s.Budgets = []float64{0} }, ErrNegativeBudget},
+		{"no mechanisms", func(s *Spec) { s.Mechanisms = nil }, ErrUnknownMechanism},
+		{"unknown mechanism", func(s *Spec) { s.Mechanisms = []string{"oracle-lp"} }, ErrUnknownMechanism},
+		{"negative train episodes", func(s *Spec) { s.TrainEpisodes = -1 }, nil},
+		{"zero eval episodes", func(s *Spec) { s.EvalEpisodes = 0 }, nil},
+		{"negative lambda", func(s *Spec) { s.Lambda = -1 }, nil},
+		{"negative non-iid", func(s *Spec) { s.NonIID = -0.5 }, nil},
+		{"availability above one", func(s *Spec) { s.Availability = 1.5 }, nil},
+		{"jitter at one", func(s *Spec) { s.CommJitter = 1 }, nil},
+		{"quorum beyond fleet", func(s *Spec) { s.MinQuorum = 4 }, nil},
+		{"failure payment above one", func(s *Spec) { s.FailurePayment = 2 }, nil},
+		{"bandwidth round zero", func(s *Spec) {
+			s.Bandwidth = []BandwidthPhase{{FromRound: 0, Factor: 2}}
+		}, nil},
+		{"bandwidth out of order", func(s *Spec) {
+			s.Bandwidth = []BandwidthPhase{{FromRound: 5, Factor: 2}, {FromRound: 5, Factor: 1}}
+		}, nil},
+		{"bandwidth zero factor", func(s *Spec) {
+			s.Bandwidth = []BandwidthPhase{{FromRound: 1, Factor: 0}}
+		}, nil},
+		{"churn script and rates", func(s *Spec) {
+			s.Churn = &ChurnSpec{Script: "-0@2", Rates: &ChurnRatesSpec{Depart: 0.1}}
+		}, nil},
+		{"churn bad script", func(s *Spec) { s.Churn = &ChurnSpec{Script: "0@2"} }, nil},
+		{"churn script unknown node", func(s *Spec) { s.Churn = &ChurnSpec{Script: "-9@2"} }, nil},
+		{"churn rates out of range", func(s *Spec) {
+			s.Churn = &ChurnSpec{Rates: &ChurnRatesSpec{Depart: 1.5}}
+		}, nil},
+		{"churn window unknown node", func(s *Spec) {
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{{Node: 7, From: 2, To: 4}}}
+		}, nil},
+		{"churn window inverted", func(s *Spec) {
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{{Node: 0, From: 5, To: 2}}}
+		}, nil},
+		{"churn window bad kind", func(s *Spec) {
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{{Node: 0, From: 2, To: 4, Kind: "vacation"}}}
+		}, nil},
+		{"overlapping churn windows", func(s *Spec) {
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{
+				{Node: 0, From: 2, To: 6},
+				{Node: 0, From: 5, To: 9},
+			}}
+		}, ErrChurnOverlap},
+		{"adjacent churn windows collide", func(s *Spec) {
+			// The first away window's re-arrival lands at round 7; a second
+			// departure that same round is a conflict.
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{
+				{Node: 0, From: 2, To: 6},
+				{Node: 0, From: 7, To: 9},
+			}}
+		}, ErrChurnOverlap},
+		{"mixed visit and away windows", func(s *Spec) {
+			s.Churn = &ChurnSpec{Windows: []ChurnWindow{
+				{Node: 0, From: 2, To: 4, Kind: "visit"},
+				{Node: 0, From: 8, To: 9},
+			}}
+		}, ErrChurnOverlap},
+		{"window collides with script", func(s *Spec) {
+			s.Churn = &ChurnSpec{
+				Script:  "-0@3",
+				Windows: []ChurnWindow{{Node: 0, From: 3, To: 5}},
+			}
+		}, ErrChurnOverlap},
+		{"fault rates above one", func(s *Spec) {
+			s.Faults = &FaultSpec{Crash: 0.8, Straggle: 0.8}
+		}, nil},
+		{"bad straggle factor", func(s *Spec) {
+			s.Faults = &FaultSpec{Straggle: 0.1, StraggleFactor: 1.1}
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","dataset":"mnist","clases":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("typo'd field error = %v", err)
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	data, _ := json.Marshal(validSpec())
+	if _, err := Parse(append(data, []byte("{}")...)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s, _ := Lookup("faulty-fleet")
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if back.Name != s.Name || back.Faults == nil || back.Faults.Straggle != s.Faults.Straggle {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestMechanismKindVocabulary(t *testing.T) {
+	cases := map[string]experiment.MechanismKind{
+		"chiron":           experiment.KindChiron,
+		"Chiron":           experiment.KindChiron,
+		"drl":              experiment.KindDRLBased,
+		"DRL-based":        experiment.KindDRLBased,
+		"greedy":           experiment.KindGreedy,
+		"uniform":          experiment.KindUniform,
+		"equal-time":       experiment.KindEqualTimeOracle,
+		"EqualTime-Oracle": experiment.KindEqualTimeOracle,
+	}
+	for name, want := range cases {
+		got, err := MechanismKind(name)
+		if err != nil || got != want {
+			t.Errorf("MechanismKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	// Every mechanism String() form must round-trip, so replay can always
+	// resolve a recorded header.
+	for _, k := range []experiment.MechanismKind{
+		experiment.KindChiron, experiment.KindDRLBased, experiment.KindGreedy,
+		experiment.KindUniform, experiment.KindEqualTimeOracle,
+	} {
+		got, err := MechanismKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("MechanismKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s, _ := Lookup("fig4-grid")
+	scaled := s.Scale(0.01)
+	if scaled.TrainEpisodes != 5 || scaled.EvalEpisodes != 1 {
+		t.Errorf("Scale(0.01) train=%d eval=%d, want 5, 1", scaled.TrainEpisodes, scaled.EvalEpisodes)
+	}
+	if s.TrainEpisodes != 500 {
+		t.Errorf("Scale mutated the original: train=%d", s.TrainEpisodes)
+	}
+}
+
+func TestBandwidthPhaseSchedule(t *testing.T) {
+	sched := phaseSchedule([]BandwidthPhase{{FromRound: 5, Factor: 2}, {FromRound: 12, Factor: 0.7}})
+	for _, tc := range []struct {
+		round int
+		want  float64
+	}{{1, 1}, {4, 1}, {5, 2}, {11, 2}, {12, 0.7}, {100, 0.7}} {
+		if got := sched.Factor(tc.round); got != tc.want {
+			t.Errorf("Factor(%d) = %v, want %v", tc.round, got, tc.want)
+		}
+	}
+}
+
+// FuzzScenarioParse feeds arbitrary bytes (seeded with every library
+// scenario and a few malformed shapes) through Parse: it must never panic,
+// and anything it accepts must survive a marshal → parse round trip.
+func FuzzScenarioParse(f *testing.F) {
+	for _, name := range Names() {
+		s, _ := Lookup(name)
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatalf("marshal %s: %v", name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","dataset":"mnist","classes":[{"profile":"paper","count":-1}]}`))
+	f.Add([]byte(`{"name":"x","budgets":[1e308,1e308]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v\n%s", err, out)
+		}
+		if back.Name != s.Name || back.NumNodes() != s.NumNodes() {
+			t.Fatalf("round trip drifted: %q/%d vs %q/%d", back.Name, back.NumNodes(), s.Name, s.NumNodes())
+		}
+	})
+}

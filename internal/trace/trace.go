@@ -23,7 +23,64 @@ type RecordKind string
 const (
 	KindRound   RecordKind = "round"
 	KindEpisode RecordKind = "episode"
+	KindHeader  RecordKind = "header"
+	KindDraws   RecordKind = "draws"
 )
+
+// Version is the trace format version written into HeaderRecord. Readers
+// accept any version up to their own: the format is append-only (new
+// record kinds are skipped by older readers), so a newer version number
+// signals a semantic change the reader cannot honor.
+const Version = 1
+
+// ErrVersion reports a trace header whose version is newer than this
+// reader supports.
+var ErrVersion = errors.New("trace: unsupported header version")
+
+// HeaderRecord opens a recorded trace: it names the scenario, mechanism,
+// and budget the episodes were produced under, and embeds everything a
+// replay needs to rebuild the exact system — the scenario spec itself and
+// the mechanism's post-training checkpoint (both as raw JSON, so the trace
+// format does not depend on their schemas). Headerless traces stay valid:
+// plain `chiron train -trace` output has no header and no draws, it simply
+// cannot be replayed.
+type HeaderRecord struct {
+	Kind RecordKind `json:"kind"`
+	// Version is the trace format version (see Version).
+	Version int `json:"version"`
+	// Scenario is the JSON-encoded scenario spec the run compiled from.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Mechanism names the recorded mechanism (scenario vocabulary).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Budget is the recorded cell's episode budget η.
+	Budget float64 `json:"budget,omitempty"`
+	// Seed is the scenario seed the run was compiled with.
+	Seed int64 `json:"seed,omitempty"`
+	// Nodes is the fleet size N every draws record must match.
+	Nodes int `json:"nodes,omitempty"`
+	// EvalEpisodes is how many deterministic episodes were recorded.
+	EvalEpisodes int `json:"eval_episodes,omitempty"`
+	// Checkpoint is the mechanism's post-training checkpoint file (JSON),
+	// captured before the first recorded episode. Omitted for static
+	// mechanisms that carry no training state.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// DrawsRecord captures one round's resolved environment draws — the
+// fleet-membership, availability, and bandwidth-jitter randomness the
+// round pipeline consumed — so a replay can pin the environment while a
+// different mechanism or budget plays against it. The three columns are
+// exactly what round.Respond's draw pre-pass produced: Eligible marks the
+// nodes that received the offer, Departing the mid-round departures, and
+// CommTimes each eligible node's post-jitter upload time.
+type DrawsRecord struct {
+	Kind      RecordKind `json:"kind"`
+	Episode   int        `json:"episode"`
+	Round     int        `json:"round"`
+	Eligible  []bool     `json:"eligible"`
+	Departing []bool     `json:"departing,omitempty"`
+	CommTimes []float64  `json:"comm_times"`
+}
 
 // RoundRecord is one training round of one episode. Completed and Outcomes
 // carry the failure model's per-node status; both are omitted for clean
@@ -84,10 +141,35 @@ func Create(path string) (*Writer, error) {
 	return NewWriter(f), nil
 }
 
-// WriteRound appends one round record. Per-node outcomes are recorded only
-// when the round saw at least one failure, keeping clean traces byte-
-// compatible with the legacy format.
-func (t *Writer) WriteRound(episode int, r *market.Round) error {
+// WriteHeader appends the trace header. Callers write it first so readers
+// can gate on the version before interpreting anything else; Write order is
+// not enforced, but Read surfaces only the first header it sees.
+func (t *Writer) WriteHeader(h HeaderRecord) error {
+	h.Kind = KindHeader
+	if h.Version == 0 {
+		h.Version = Version
+	}
+	if err := t.enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	return nil
+}
+
+// WriteDraws appends one round's environment-draw record.
+func (t *Writer) WriteDraws(d DrawsRecord) error {
+	d.Kind = KindDraws
+	if err := t.enc.Encode(d); err != nil {
+		return fmt.Errorf("trace: write draws: %w", err)
+	}
+	return nil
+}
+
+// NewRoundRecord converts one committed market round into its trace-record
+// form. Per-node outcomes are included only when the round saw at least one
+// failure, keeping clean records byte-compatible with the legacy format.
+// The record aliases r's per-node vectors — encode or copy it before the
+// round is mutated.
+func NewRoundRecord(episode int, r *market.Round) RoundRecord {
 	rec := RoundRecord{
 		Kind:         KindRound,
 		Episode:      episode,
@@ -106,7 +188,12 @@ func (t *Writer) WriteRound(episode int, r *market.Round) error {
 			rec.Outcomes[i] = o.String()
 		}
 	}
-	if err := t.enc.Encode(rec); err != nil {
+	return rec
+}
+
+// WriteRound appends one round record (see NewRoundRecord).
+func (t *Writer) WriteRound(episode int, r *market.Round) error {
+	if err := t.enc.Encode(NewRoundRecord(episode, r)); err != nil {
 		return fmt.Errorf("trace: write round: %w", err)
 	}
 	return nil
@@ -156,8 +243,12 @@ func (t *Writer) Close() error {
 
 // Trace is a fully parsed trace file.
 type Trace struct {
+	// Header is the first header record of the trace, nil for plain
+	// training traces that carry no replay metadata.
+	Header   *HeaderRecord
 	Rounds   []RoundRecord
 	Episodes []EpisodeRecord
+	Draws    []DrawsRecord
 }
 
 // ErrTruncated reports a trace whose final line is a partial record — the
@@ -211,6 +302,25 @@ func Read(r io.Reader) (*Trace, error) {
 				continue
 			}
 			out.Episodes = append(out.Episodes, rec)
+		case KindHeader:
+			var rec HeaderRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				pending = fmt.Errorf("trace: line %d: %w", line, err)
+				continue
+			}
+			if rec.Version > Version {
+				return nil, fmt.Errorf("%w: %d (reader supports <= %d)", ErrVersion, rec.Version, Version)
+			}
+			if out.Header == nil {
+				out.Header = &rec
+			}
+		case KindDraws:
+			var rec DrawsRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				pending = fmt.Errorf("trace: line %d: %w", line, err)
+				continue
+			}
+			out.Draws = append(out.Draws, rec)
 		default:
 			// Forward compatibility: ignore unknown kinds.
 		}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -118,5 +119,86 @@ func TestReadEmptyInput(t *testing.T) {
 func TestReadFileMissing(t *testing.T) {
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
 		t.Fatal("opened a missing file")
+	}
+}
+
+func TestHeaderDrawsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	hdr := HeaderRecord{
+		Scenario:     []byte(`{"name":"x"}`),
+		Mechanism:    "Uniform",
+		Budget:       300,
+		Seed:         7,
+		Nodes:        2,
+		EvalEpisodes: 1,
+		Checkpoint:   []byte(`{"w":[1,2]}`),
+	}
+	if err := w.WriteHeader(hdr); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	draws := DrawsRecord{
+		Episode:   1,
+		Round:     1,
+		Eligible:  []bool{true, false},
+		Departing: []bool{false, true},
+		CommTimes: []float64{12.5, 0},
+	}
+	if err := w.WriteDraws(draws); err != nil {
+		t.Fatalf("WriteDraws: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	trc, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if trc.Header == nil {
+		t.Fatal("header lost in round trip")
+	}
+	if trc.Header.Version != Version {
+		t.Errorf("header version %d, want %d (writer must stamp it)", trc.Header.Version, Version)
+	}
+	if trc.Header.Mechanism != hdr.Mechanism || trc.Header.Budget != hdr.Budget ||
+		trc.Header.Seed != hdr.Seed || trc.Header.Nodes != hdr.Nodes ||
+		trc.Header.EvalEpisodes != hdr.EvalEpisodes {
+		t.Errorf("header round trip drifted: %+v", trc.Header)
+	}
+	if string(trc.Header.Scenario) != string(hdr.Scenario) ||
+		string(trc.Header.Checkpoint) != string(hdr.Checkpoint) {
+		t.Errorf("embedded payloads drifted: %s / %s", trc.Header.Scenario, trc.Header.Checkpoint)
+	}
+	if len(trc.Draws) != 1 {
+		t.Fatalf("parsed %d draws records", len(trc.Draws))
+	}
+	got := trc.Draws[0]
+	if got.Episode != 1 || got.Round != 1 ||
+		!got.Eligible[0] || got.Eligible[1] ||
+		got.Departing[0] || !got.Departing[1] ||
+		got.CommTimes[0] != 12.5 {
+		t.Errorf("draws round trip drifted: %+v", got)
+	}
+}
+
+func TestReadRejectsFutureVersion(t *testing.T) {
+	input := `{"kind":"header","version":99}` + "\n"
+	_, err := Read(strings.NewReader(input))
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("future-version header error = %v, want ErrVersion", err)
+	}
+}
+
+func TestReadKeepsFirstHeader(t *testing.T) {
+	input := `{"kind":"header","version":1,"mechanism":"Uniform"}
+{"kind":"header","version":1,"mechanism":"Greedy"}
+`
+	trc, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if trc.Header == nil || trc.Header.Mechanism != "Uniform" {
+		t.Errorf("header = %+v, want the first one", trc.Header)
 	}
 }
