@@ -28,6 +28,9 @@ import (
 // baselineFile mirrors the committed BENCH_compute.json schema; only the
 // fields the gate needs are declared.
 type baselineFile struct {
+	// GOMAXPROCS records the CPU count the baseline numbers were taken at
+	// (0 when the file predates the field).
+	GOMAXPROCS int `json:"gomaxprocs"`
 	Benchmarks []struct {
 		Name  string `json:"name"`
 		After struct {
@@ -51,11 +54,11 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	baseline, err := loadBaseline(*baselinePath)
+	baseline, baseProcs, err := loadBaseline(*baselinePath)
 	if err != nil {
 		return err
 	}
-	current, err := loadBenchOutput(*benchPath)
+	current, runProcs, err := loadBenchOutput(*benchPath)
 	if err != nil {
 		return err
 	}
@@ -64,6 +67,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprint(w, report.String())
+	// ns/op shifts with the CPU count on parallel workloads, so a gate
+	// verdict across differing GOMAXPROCS is advisory at best. Warn rather
+	// than fail: CI boxes legitimately differ from the baseline recorder.
+	if baseProcs > 0 && runProcs > 0 && baseProcs != runProcs {
+		fmt.Fprintf(w, "warning: baseline recorded at GOMAXPROCS=%d but this run used %d CPUs — ratios are not comparable across CPU counts\n",
+			baseProcs, runProcs)
+	}
 	if report.Failed {
 		return fmt.Errorf("geomean ratio %.3f exceeds %.3f (+%d%% threshold)",
 			report.Geomean, 1+report.Threshold, int(report.Threshold*100))
@@ -72,64 +82,71 @@ func run(args []string, w io.Writer) error {
 }
 
 // loadBaseline reads the committed baseline and returns name → ns/op for
-// the "after" (current-code) side.
-func loadBaseline(path string) (map[string]float64, error) {
+// the "after" (current-code) side, plus the GOMAXPROCS the baseline was
+// recorded at (0 when unrecorded).
+func loadBaseline(path string) (map[string]float64, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("read baseline: %w", err)
+		return nil, 0, fmt.Errorf("read baseline: %w", err)
 	}
 	var bf baselineFile
 	if err := json.Unmarshal(data, &bf); err != nil {
-		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+		return nil, 0, fmt.Errorf("parse baseline %s: %w", path, err)
 	}
 	out := make(map[string]float64, len(bf.Benchmarks))
 	for _, b := range bf.Benchmarks {
 		if b.After.NsPerOp <= 0 {
-			return nil, fmt.Errorf("baseline %s: %s has non-positive after.ns_per_op", path, b.Name)
+			return nil, 0, fmt.Errorf("baseline %s: %s has non-positive after.ns_per_op", path, b.Name)
 		}
 		out[b.Name] = b.After.NsPerOp
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("baseline %s: no benchmarks", path)
+		return nil, 0, fmt.Errorf("baseline %s: no benchmarks", path)
 	}
-	return out, nil
+	return out, bf.GOMAXPROCS, nil
 }
 
 // benchLine matches standard `go test -bench` result lines, e.g.
 // "BenchmarkComputePPOUpdate-4   100   12528542 ns/op   4651 B/op ...".
 // The -N GOMAXPROCS suffix is optional: it is absent on single-CPU boxes.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op`)
 
-// loadBenchOutput parses `go test -bench` text into name → ns/op.
-func loadBenchOutput(path string) (map[string]float64, error) {
+// loadBenchOutput parses `go test -bench` text into name → ns/op plus the
+// GOMAXPROCS the run used, read off the benchmark-name suffix (0 when
+// every line is bare).
+func loadBenchOutput(path string) (map[string]float64, int, error) {
 	if path == "" {
-		return nil, fmt.Errorf("-bench is required (a go test -bench output file)")
+		return nil, 0, fmt.Errorf("-bench is required (a go test -bench output file)")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("read bench output: %w", err)
+		return nil, 0, fmt.Errorf("read bench output: %w", err)
 	}
 	defer f.Close()
 	out := map[string]float64{}
+	procs := 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil || ns <= 0 {
-			return nil, fmt.Errorf("bench output %s: bad ns/op on %q", path, sc.Text())
+			return nil, 0, fmt.Errorf("bench output %s: bad ns/op on %q", path, sc.Text())
 		}
 		out[m[1]] = ns
+		if procs == 0 && m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("bench output %s: no benchmark lines found", path)
+		return nil, 0, fmt.Errorf("bench output %s: no benchmark lines found", path)
 	}
-	return out, nil
+	return out, procs, nil
 }
 
 // gateReport is the rendered comparison plus the pass/fail verdict.

@@ -79,7 +79,7 @@ func TestLoadBenchOutputParsesSuffixedAndBareNames(t *testing.T) {
 		"BenchmarkComputeB    \t  50\t   5678.5 ns/op",
 		"PASS",
 	}, "\n"))
-	got, err := loadBenchOutput(path)
+	got, procs, err := loadBenchOutput(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +88,48 @@ func TestLoadBenchOutputParsesSuffixedAndBareNames(t *testing.T) {
 	}
 	if got["BenchmarkComputeB"] != 5678.5 {
 		t.Fatalf("bare name: got %v", got["BenchmarkComputeB"])
+	}
+	if procs != 4 {
+		t.Fatalf("GOMAXPROCS from suffix = %d, want 4", procs)
+	}
+}
+
+// TestRunWarnsOnCPUCountMismatch pins the cross-machine guard: a baseline
+// recorded at one GOMAXPROCS compared against a run at another passes or
+// fails on the numbers as usual, but always says the ratios are suspect.
+func TestRunWarnsOnCPUCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "baseline.json", `{
+	  "gomaxprocs": 8,
+	  "benchmarks": [{"name": "BenchmarkComputeA", "after": {"ns_per_op": 1000}}]
+	}`)
+	bench := writeFile(t, dir, "bench.txt", "BenchmarkComputeA-2 100 1010 ns/op\n")
+	var sb strings.Builder
+	if err := run([]string{"-baseline", baseline, "-bench", bench}, &sb); err != nil {
+		t.Fatalf("passing run errored: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "GOMAXPROCS=8 but this run used 2") {
+		t.Fatalf("no CPU-count warning in output:\n%s", sb.String())
+	}
+
+	// Same CPU count, or a baseline without the field: no warning.
+	sameBench := writeFile(t, dir, "same.txt", "BenchmarkComputeA-8 100 1010 ns/op\n")
+	sb.Reset()
+	if err := run([]string{"-baseline", baseline, "-bench", sameBench}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "warning") {
+		t.Fatalf("spurious warning at matching CPU counts:\n%s", sb.String())
+	}
+	legacy := writeFile(t, dir, "legacy.json", `{
+	  "benchmarks": [{"name": "BenchmarkComputeA", "after": {"ns_per_op": 1000}}]
+	}`)
+	sb.Reset()
+	if err := run([]string{"-baseline", legacy, "-bench", bench}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "warning") {
+		t.Fatalf("spurious warning on a legacy baseline:\n%s", sb.String())
 	}
 }
 

@@ -19,11 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"chiron"
 	"chiron/internal/mechanism"
 	"chiron/internal/scenario"
+	"chiron/internal/session"
 	"chiron/internal/supervise"
 	"chiron/internal/trace"
 )
@@ -180,32 +183,51 @@ func cmdTrain(args []string) error {
 		}
 	}
 	if *autoCkpt != "" {
-		runner, err := supervise.New(func() (supervise.Target, error) {
-			fresh, err := buildMechanism()
-			if err != nil {
-				return nil, err
-			}
-			target, ok := fresh.(supervise.Target)
-			if !ok {
-				return nil, fmt.Errorf("mechanism %s cannot be supervised (needs training + checkpoints)", fresh.Name())
-			}
-			// Point the trace/eval plumbing at the live attempt.
-			m = fresh
-			return target, nil
-		}, supervise.Config{
-			Dir:   *autoCkpt,
-			Every: *ckptEvery,
-			Retry: chiron.Backoff{Base: 1, Factor: 2, Max: 30, MaxRetries: *maxRestarts},
+		sess, err := session.New(session.Config{
+			Train: &session.TrainConfig{
+				Factory: func() (supervise.Target, error) {
+					fresh, err := buildMechanism()
+					if err != nil {
+						return nil, err
+					}
+					target, ok := fresh.(supervise.Target)
+					if !ok {
+						return nil, fmt.Errorf("mechanism %s cannot be supervised (needs training + checkpoints)", fresh.Name())
+					}
+					// Point the trace/eval plumbing at the live attempt.
+					m = fresh
+					return target, nil
+				},
+				Episodes: *episodes,
+				Supervise: supervise.Config{
+					Dir:   *autoCkpt,
+					Every: *ckptEvery,
+					Retry: chiron.Backoff{Base: 1, Factor: 2, Max: 30, MaxRetries: *maxRestarts},
+				},
+			},
+			OnEpisode: func(ev session.EpisodeEvent) { callback(ev.Result) },
 		})
 		if err != nil {
 			return err
 		}
-		_, report, err := runner.Run(*episodes, callback)
+		interrupts := make(chan os.Signal, 1)
+		signal.Notify(interrupts, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(interrupts)
+		st, err := runSession(sess, interrupts)
+		if err != nil {
+			return err
+		}
+		report, err := sess.Report()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("supervised run: resumed from episode %d, %d checkpoints, %d restarts, %d corrupt checkpoints skipped\n",
 			report.ResumedFrom, report.Checkpoints, report.Restarts, report.CorruptSkipped)
+		if st == session.StateStopped {
+			fmt.Printf("stopped after episode %d; final checkpoint flushed to %s — rerun with -auto-checkpoint to resume\n",
+				report.ResumedFrom+len(report.Episodes), *autoCkpt)
+			return nil
+		}
 	} else {
 		tr, ok := m.(mechanism.Trainable)
 		if !ok {
@@ -285,6 +307,26 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// runSession starts a hosted session and waits for its terminal state. An
+// interrupt signal (nil channel = none wired) stops the session gracefully
+// at the next episode boundary — in train mode that flushes a final atomic
+// checkpoint before the session reports StateStopped.
+func runSession(s *session.Session, interrupts <-chan os.Signal) (session.State, error) {
+	if err := s.Start(); err != nil {
+		return session.StateFailed, err
+	}
+	go func() {
+		select {
+		case <-interrupts:
+			fmt.Fprintln(os.Stderr, "chiron: interrupt — stopping at the next episode boundary")
+			s.Stop()
+		case <-s.Done():
+		}
+	}()
+	st := s.Wait()
+	return st, s.Err()
+}
+
 // setFlags reports which flags were explicitly given on the command line,
 // so scenario conflict checks can distinguish "user said -budget 300" from
 // the flag's default value.
@@ -337,7 +379,14 @@ func runScenario(arg string, scale float64, jobs int, record, mech string, budge
 				return fmt.Errorf("scenario %s fixes its own %s grid; -%s only selects the cell to -record", s.Name, name, name)
 			}
 		}
-		res, err := scenario.Run(s, jobs)
+		sess, err := session.New(session.Config{Spec: s, Workers: jobs})
+		if err != nil {
+			return err
+		}
+		if _, err := runSession(sess, nil); err != nil {
+			return err
+		}
+		res, err := sess.Result()
 		if err != nil {
 			return err
 		}
@@ -348,10 +397,22 @@ func runScenario(arg string, scale float64, jobs int, record, mech string, budge
 	if err != nil {
 		return err
 	}
-	rec, err := scenario.Record(s, mech, budget, tw)
+	sess, err := session.New(session.Config{
+		Spec:   s,
+		Record: &session.RecordConfig{Writer: tw, Mechanism: mech, Budget: budget},
+	})
+	if err != nil {
+		_ = tw.Close()
+		return err
+	}
+	_, err = runSession(sess, nil)
 	if cerr := tw.Close(); err == nil {
 		err = cerr
 	}
+	if err != nil {
+		return err
+	}
+	rec, err := sess.Recorded()
 	if err != nil {
 		return err
 	}

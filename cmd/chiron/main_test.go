@@ -2,13 +2,125 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
+	"chiron/internal/mechanism"
+	"chiron/internal/rl"
 	"chiron/internal/scenario"
+	"chiron/internal/session"
+	"chiron/internal/supervise"
 )
+
+// sigTarget is a minimal supervise.Target whose training state is just an
+// episode counter, so the interrupt test needs no real mechanism.
+type sigTarget struct{ episode int }
+
+func (f *sigTarget) Episode() int { return f.episode }
+
+func (f *sigTarget) Train(episodes int, callback func(mechanism.EpisodeResult)) ([]mechanism.EpisodeResult, error) {
+	var out []mechanism.EpisodeResult
+	for i := 0; i < episodes; i++ {
+		f.episode++
+		res := mechanism.EpisodeResult{Episode: f.episode, Rounds: f.episode}
+		if callback != nil {
+			callback(res)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (f *sigTarget) SaveCheckpoint(path string) error {
+	return rl.SaveCheckpoint(path, &rl.Checkpoint{Mechanism: "sig", Nodes: 1, Episode: f.episode})
+}
+
+func (f *sigTarget) LoadCheckpoint(path string) error {
+	ck, err := rl.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	if ck.Mechanism != "sig" {
+		return fmt.Errorf("%w: checkpoint for %q, want \"sig\"", rl.ErrShapeMismatch, ck.Mechanism)
+	}
+	f.episode = ck.Episode
+	return nil
+}
+
+// TestTrainInterruptFlushesCheckpoint pins the graceful-shutdown contract
+// of the supervised train path: a SIGINT delivered mid-run stops the
+// session at the next episode boundary, the final checkpoint is flushed
+// atomically, and a rerun over the same directory resumes exactly where
+// the interrupt landed.
+func TestTrainInterruptFlushesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	factory := func() (supervise.Target, error) { return &sigTarget{}, nil }
+	interrupts := make(chan os.Signal, 1)
+	var sess *session.Session
+	sess, err := session.New(session.Config{
+		Train: &session.TrainConfig{
+			Factory:   factory,
+			Episodes:  6,
+			Supervise: supervise.Config{Dir: dir, Every: 2},
+		},
+		OnEpisode: func(ev session.EpisodeEvent) {
+			if ev.Seq == 2 {
+				// Pause first so the worker deterministically parks at the
+				// next gate, then deliver the fake signal.
+				sess.Pause()
+				interrupts <- syscall.SIGINT
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runSession(sess, interrupts)
+	if err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if st != session.StateStopped {
+		t.Fatalf("state after interrupt %s, want stopped", st)
+	}
+	report, err := sess.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.ResumedFrom + len(report.Episodes); got != 2 {
+		t.Fatalf("stopped after %d episodes, want 2", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-00000002.json")); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+
+	resumed, err := session.New(session.Config{
+		Train: &session.TrainConfig{
+			Factory:   factory,
+			Episodes:  6,
+			Supervise: supervise.Config{Dir: dir, Every: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := runSession(resumed, nil); err != nil || st != session.StateDone {
+		t.Fatalf("resumed run: state %s, err %v", st, err)
+	}
+	report, err = resumed.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ResumedFrom != 2 {
+		t.Fatalf("resumed from %d, want 2", report.ResumedFrom)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-00000006.json")); err != nil {
+		t.Fatalf("completed checkpoint missing: %v", err)
+	}
+}
 
 // TestRunFlagScenarioConflicts pins the contract that CLI flags may never
 // silently override (or be overridden by) a loaded scenario spec: every

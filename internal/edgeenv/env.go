@@ -139,6 +139,11 @@ type Config struct {
 	MinQuorum int
 }
 
+// DefaultMaxRounds is the episode round cap the default configurations
+// install — the value scenario specs inherit when they do not override
+// MaxRounds.
+const DefaultMaxRounds = 200
+
 // DefaultConfig returns the paper's settings (λ=2000, L=4) for the given
 // fleet and accuracy model. TimeWeight is calibrated to 0.3 so that the
 // second-scale round times of the Sec. VI-A device constants balance the
@@ -152,7 +157,7 @@ func DefaultConfig(nodes []*device.Node, acc accuracy.Model, budget float64) Con
 		Lambda:     2000,
 		TimeWeight: 0.3,
 		HistoryLen: 4,
-		MaxRounds:  200,
+		MaxRounds:  DefaultMaxRounds,
 	}
 }
 
@@ -168,7 +173,7 @@ func DefaultFleetConfig(fleet *device.Fleet, acc accuracy.Model, budget float64)
 		Lambda:        2000,
 		TimeWeight:    0.3,
 		HistoryLen:    4,
-		MaxRounds:     200,
+		MaxRounds:     DefaultMaxRounds,
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"hash"
 	"hash/fnv"
+	"math/rand"
 	"os"
 
+	"chiron/internal/edgeenv"
 	"chiron/internal/experiment"
 	"chiron/internal/mechanism"
 	"chiron/internal/trace"
@@ -97,19 +99,33 @@ func loadCheckpointBytes(cp mechanism.Checkpointer, data []byte) error {
 	return nil
 }
 
-// Record runs one (mechanism, budget) cell of the scenario with the round
-// pipeline's draw capture enabled and streams a replayable trace to tw:
-// a versioned header embedding the spec and the mechanism's post-training
-// checkpoint, then — per evaluation episode — every round's environment
-// draws, the committed round records, and the episode summary.
-//
-// mech selects the recorded mechanism ("" = the spec's first); budget
-// selects the cell (0 = the spec's first). Training episodes run with
-// capture disabled — only the deterministic evaluation is recorded. Before
-// each evaluation episode the accuracy RNG is reseeded from
-// evalSeed(seed, ep), making each episode's measurement-noise stream
-// independently reproducible: the exact discipline Replay repeats.
-func Record(s *Spec, mech string, budget float64, tw *trace.Writer) (*EpisodeSet, error) {
+// RecordRun is one open recording cell: a draw-capturing environment and
+// mechanism whose execution is exposed as resumable steps — one training
+// episode at a time, then one recorded evaluation episode at a time — so a
+// hosted session can pause between episodes while streaming exactly the
+// trace Record streams. The versioned header (spec + post-training
+// checkpoint) is written lazily before the first recorded episode, after
+// training has finished.
+type RecordRun struct {
+	spec       *Spec
+	kind       experiment.MechanismKind
+	budget     float64
+	rec        *recorder
+	env        *edgeenv.Env
+	accRng     *rand.Rand
+	m          mechanism.Mechanism
+	tw         *trace.Writer
+	trained    int
+	headerDone bool
+	out        *EpisodeSet
+}
+
+// StartRecord validates the spec, resolves the recorded cell (mech "" = the
+// spec's first mechanism, budget 0 = its first budget), and compiles the
+// draw-capturing environment and mechanism. The caller then drains
+// TrainEpisode until TrainRemaining reaches zero, records episodes
+// 1..Episodes() in order, and Finishes.
+func StartRecord(s *Spec, mech string, budget float64, tw *trace.Writer) (*RecordRun, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,58 +148,150 @@ func Record(s *Spec, mech string, budget float64, tw *trace.Writer) (*EpisodeSet
 	if err != nil {
 		return nil, fmt.Errorf("scenario: mechanism: %w", err)
 	}
-	if t, ok := m.(mechanism.Trainable); ok && s.TrainEpisodes > 0 {
-		if _, err := t.Train(s.TrainEpisodes, nil); err != nil {
-			return nil, fmt.Errorf("scenario: train %s: %w", m.Name(), err)
-		}
+	return &RecordRun{
+		spec: s, kind: kind, budget: budget,
+		rec: rec, env: env, accRng: accRng, m: m, tw: tw,
+		out: &EpisodeSet{Scenario: s.Name, Mechanism: kind.String(), Budget: budget},
+	}, nil
+}
+
+// Mechanism returns the recorded cell's live mechanism.
+func (r *RecordRun) Mechanism() mechanism.Mechanism { return r.m }
+
+// Episodes reports how many evaluation episodes the recording covers.
+func (r *RecordRun) Episodes() int { return r.spec.EvalEpisodes }
+
+// TrainRemaining reports how many training episodes are still owed before
+// the recorded evaluation may begin.
+func (r *RecordRun) TrainRemaining() int {
+	if _, ok := r.m.(mechanism.Trainable); !ok {
+		return 0
 	}
+	return r.spec.TrainEpisodes - r.trained
+}
+
+// TrainEpisode runs the next single training episode with capture disabled.
+func (r *RecordRun) TrainEpisode() (mechanism.EpisodeResult, error) {
+	if r.headerDone {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: training after recording started")
+	}
+	t, ok := r.m.(mechanism.Trainable)
+	if !ok {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: %s is not trainable", r.m.Name())
+	}
+	res, err := t.Train(1, nil)
+	if err != nil {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: train %s: %w", r.m.Name(), err)
+	}
+	r.trained++
+	return res[0], nil
+}
+
+// writeHeader emits the versioned trace header: the spec and the
+// mechanism's post-training checkpoint. Called once, lazily, before the
+// first recorded episode.
+func (r *RecordRun) writeHeader() error {
 	header := trace.HeaderRecord{
-		Mechanism:    kind.String(),
-		Budget:       budget,
-		Seed:         s.Seed,
-		Nodes:        s.NumNodes(),
-		EvalEpisodes: s.EvalEpisodes,
+		Mechanism:    r.kind.String(),
+		Budget:       r.budget,
+		Seed:         r.spec.Seed,
+		Nodes:        r.spec.NumNodes(),
+		EvalEpisodes: r.spec.EvalEpisodes,
 	}
-	if header.Scenario, err = json.Marshal(s); err != nil {
-		return nil, fmt.Errorf("scenario: marshal spec: %w", err)
+	var err error
+	if header.Scenario, err = json.Marshal(r.spec); err != nil {
+		return fmt.Errorf("scenario: marshal spec: %w", err)
 	}
-	if cp, ok := m.(mechanism.Checkpointer); ok {
+	if cp, ok := r.m.(mechanism.Checkpointer); ok {
 		if header.Checkpoint, err = saveCheckpointBytes(cp); err != nil {
+			return err
+		}
+	}
+	if err := r.tw.WriteHeader(header); err != nil {
+		return err
+	}
+	r.headerDone = true
+	return nil
+}
+
+// RecordEpisode plays evaluation episode ep (1-based, in order) with draw
+// capture armed and streams its draws, round records, and summary to the
+// trace. Before the episode the accuracy RNG is reseeded from
+// evalSeed(seed, ep), making each episode's measurement-noise stream
+// independently reproducible: the exact discipline Replay repeats.
+func (r *RecordRun) RecordEpisode(ep int) (mechanism.EpisodeResult, error) {
+	if !r.headerDone {
+		if r.TrainRemaining() > 0 {
+			return mechanism.EpisodeResult{}, fmt.Errorf("scenario: recording with %d training episodes owed", r.TrainRemaining())
+		}
+		if err := r.writeHeader(); err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+	}
+	if want := len(r.out.Episodes) + 1; ep != want {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: record episode %d out of order (want %d)", ep, want)
+	}
+	r.accRng.Seed(evalSeed(r.spec.Seed, ep))
+	r.rec.begin(ep)
+	res, err := r.m.RunEpisode(false)
+	if err != nil {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: record episode %d: %w", ep, err)
+	}
+	res.Episode = ep
+	for _, d := range r.rec.recs {
+		if err := r.tw.WriteDraws(d); err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+	}
+	rounds := r.env.Ledger().Rounds()
+	for i := range rounds {
+		if err := r.tw.WriteRound(ep, &rounds[i]); err != nil {
+			return mechanism.EpisodeResult{}, err
+		}
+		r.out.Rounds = append(r.out.Rounds, trace.NewRoundRecord(ep, &rounds[i]))
+	}
+	if err := r.tw.WriteEpisode(res); err != nil {
+		return mechanism.EpisodeResult{}, err
+	}
+	r.out.Episodes = append(r.out.Episodes, res)
+	return res, nil
+}
+
+// Finish disarms the recorder, flushes the trace, and returns the recorded
+// episode set.
+func (r *RecordRun) Finish() (*EpisodeSet, error) {
+	r.rec.enabled = false
+	if err := r.tw.Flush(); err != nil {
+		return nil, err
+	}
+	return r.out, nil
+}
+
+// Record runs one (mechanism, budget) cell of the scenario with the round
+// pipeline's draw capture enabled and streams a replayable trace to tw:
+// a versioned header embedding the spec and the mechanism's post-training
+// checkpoint, then — per evaluation episode — every round's environment
+// draws, the committed round records, and the episode summary.
+//
+// mech selects the recorded mechanism ("" = the spec's first); budget
+// selects the cell (0 = the spec's first). Training episodes run with
+// capture disabled — only the deterministic evaluation is recorded. Record
+// is the batch form of the StartRecord step API above, which hosted
+// sessions drive episode by episode.
+func Record(s *Spec, mech string, budget float64, tw *trace.Writer) (*EpisodeSet, error) {
+	run, err := StartRecord(s, mech, budget, tw)
+	if err != nil {
+		return nil, err
+	}
+	for run.TrainRemaining() > 0 {
+		if _, err := run.TrainEpisode(); err != nil {
 			return nil, err
 		}
 	}
-	if err := tw.WriteHeader(header); err != nil {
-		return nil, err
-	}
-	out := &EpisodeSet{Scenario: s.Name, Mechanism: kind.String(), Budget: budget}
-	for ep := 1; ep <= s.EvalEpisodes; ep++ {
-		accRng.Seed(evalSeed(s.Seed, ep))
-		rec.begin(ep)
-		res, err := m.RunEpisode(false)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: record episode %d: %w", ep, err)
-		}
-		res.Episode = ep
-		for _, d := range rec.recs {
-			if err := tw.WriteDraws(d); err != nil {
-				return nil, err
-			}
-		}
-		rounds := env.Ledger().Rounds()
-		for i := range rounds {
-			if err := tw.WriteRound(ep, &rounds[i]); err != nil {
-				return nil, err
-			}
-			out.Rounds = append(out.Rounds, trace.NewRoundRecord(ep, &rounds[i]))
-		}
-		if err := tw.WriteEpisode(res); err != nil {
+	for ep := 1; ep <= run.Episodes(); ep++ {
+		if _, err := run.RecordEpisode(ep); err != nil {
 			return nil, err
 		}
-		out.Episodes = append(out.Episodes, res)
 	}
-	rec.enabled = false
-	if err := tw.Flush(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return run.Finish()
 }

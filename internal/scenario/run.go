@@ -27,45 +27,169 @@ type Result struct {
 	Cells []CellResult
 }
 
-// Run compiles the spec and executes its mechanism × budget grid on the
-// experiment plan scheduler: every cell is an independent job (own
-// environment, own training), workers bounds concurrency (1 = serial, 0 =
-// GOMAXPROCS), and the result is byte-identical at any worker count — the
-// invariant the conformance goldens pin.
-func Run(s *Spec, workers int) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	type cell struct {
-		mech   string
-		kind   experiment.MechanismKind
-		budget float64
-	}
-	cells := make([]cell, 0, len(s.Budgets)*len(s.Mechanisms))
-	jobs := make([]experiment.Job[mechanism.EpisodeResult], 0, cap(cells))
+// Cell addresses one (mechanism, budget) point of a spec's grid.
+type Cell struct {
+	// Mechanism is the canonical mechanism name (Kind.String()).
+	Mechanism string
+	// Kind is the resolved experiment mechanism kind.
+	Kind experiment.MechanismKind
+	// Budget is the cell's episode budget η.
+	Budget float64
+}
+
+// Cells enumerates the spec's grid in its canonical budget-major order —
+// the layout Run executes and the conformance digests pin.
+func (s *Spec) Cells() ([]Cell, error) {
+	cells := make([]Cell, 0, len(s.Budgets)*len(s.Mechanisms))
 	for _, budget := range s.Budgets {
 		for _, name := range s.Mechanisms {
 			kind, err := MechanismKind(name)
 			if err != nil {
 				return nil, err
 			}
-			budget := budget
-			cells = append(cells, cell{mech: kind.String(), kind: kind, budget: budget})
-			jobs = append(jobs, experiment.Job[mechanism.EpisodeResult]{
-				Label: fmt.Sprintf("%s %s η=%v seed=%d", s.Name, kind, budget, s.Seed),
-				Run: func() (mechanism.EpisodeResult, error) {
-					env, _, err := s.BuildEnv(budget, envHooks{})
-					if err != nil {
-						return mechanism.EpisodeResult{}, err
-					}
-					m, err := experiment.BuildMechanism(kind, env, s.Seed)
-					if err != nil {
-						return mechanism.EpisodeResult{}, err
-					}
-					return mechanism.TrainAndEvaluate(m, s.TrainEpisodes, s.EvalEpisodes)
-				},
-			})
+			cells = append(cells, Cell{Mechanism: kind.String(), Kind: kind, Budget: budget})
 		}
+	}
+	return cells, nil
+}
+
+// CellRun is one open grid cell: a freshly compiled environment and
+// mechanism positioned before training. It exposes the cell's execution as
+// resumable steps — one training episode at a time, then one evaluation —
+// so a hosted session can pause between episodes while computing exactly
+// what Run's batch path computes. The step decomposition is behaviorally
+// identical to one mechanism.TrainAndEvaluate call: every Train
+// implementation is a pure loop over Driver.RunEpisode, so N single-episode
+// Train calls replay the same state trajectory as one N-episode call.
+type CellRun struct {
+	spec    *Spec
+	cell    Cell
+	m       mechanism.Mechanism
+	trained int
+}
+
+// OpenCell compiles the cell's environment and mechanism. The spec must
+// already be validated (all callers funnel through Validate).
+func OpenCell(s *Spec, c Cell) (*CellRun, error) {
+	env, _, err := s.BuildEnv(c.Budget, envHooks{})
+	if err != nil {
+		return nil, err
+	}
+	m, err := experiment.BuildMechanism(c.Kind, env, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: mechanism: %w", err)
+	}
+	return &CellRun{spec: s, cell: c, m: m}, nil
+}
+
+// Mechanism returns the cell's live mechanism.
+func (c *CellRun) Mechanism() mechanism.Mechanism { return c.m }
+
+// TrainRemaining reports how many training episodes are still owed. Static
+// mechanisms owe none regardless of the spec's training length.
+func (c *CellRun) TrainRemaining() int {
+	if _, ok := c.m.(mechanism.Trainable); !ok {
+		return 0
+	}
+	return c.spec.TrainEpisodes - c.trained
+}
+
+// TrainEpisode runs the next single training episode.
+func (c *CellRun) TrainEpisode() (mechanism.EpisodeResult, error) {
+	t, ok := c.m.(mechanism.Trainable)
+	if !ok {
+		return mechanism.EpisodeResult{}, fmt.Errorf("scenario: %s is not trainable", c.m.Name())
+	}
+	res, err := t.Train(1, nil)
+	if err != nil {
+		return mechanism.EpisodeResult{}, fmt.Errorf("mechanism: train %s: %w", c.m.Name(), err)
+	}
+	c.trained++
+	return res[0], nil
+}
+
+// Evaluate averages the spec's deterministic evaluation episodes — the
+// cell's final result.
+func (c *CellRun) Evaluate() (mechanism.EpisodeResult, error) {
+	res, err := mechanism.Evaluate(c.m, c.spec.EvalEpisodes)
+	if err != nil {
+		return mechanism.EpisodeResult{}, fmt.Errorf("mechanism: evaluate %s: %w", c.m.Name(), err)
+	}
+	return res, nil
+}
+
+// CellHooks thread a hosted session's control points into a cell job. Both
+// fields are optional; the zero value runs the cell straight through.
+type CellHooks struct {
+	// Gate is consulted before every episode (each training episode and the
+	// evaluation block): a gate error aborts the cell with that error — the
+	// hook sessions use to pause and stop between episodes.
+	Gate func() error
+	// Episode observes each training episode's summary (eval=false) and the
+	// cell's final averaged evaluation (eval=true). It is called from the
+	// scheduler worker running the cell; observers synchronize internally.
+	Episode func(c Cell, res mechanism.EpisodeResult, eval bool)
+}
+
+// CellJob wraps one cell as an experiment job with the hooks threaded in.
+func CellJob(s *Spec, c Cell, hooks CellHooks) experiment.Job[mechanism.EpisodeResult] {
+	return experiment.Job[mechanism.EpisodeResult]{
+		Label: fmt.Sprintf("%s %s η=%v seed=%d", s.Name, c.Kind, c.Budget, s.Seed),
+		Run: func() (mechanism.EpisodeResult, error) {
+			run, err := OpenCell(s, c)
+			if err != nil {
+				return mechanism.EpisodeResult{}, err
+			}
+			for run.TrainRemaining() > 0 {
+				if hooks.Gate != nil {
+					if err := hooks.Gate(); err != nil {
+						return mechanism.EpisodeResult{}, err
+					}
+				}
+				res, err := run.TrainEpisode()
+				if err != nil {
+					return mechanism.EpisodeResult{}, err
+				}
+				if hooks.Episode != nil {
+					hooks.Episode(c, res, false)
+				}
+			}
+			if hooks.Gate != nil {
+				if err := hooks.Gate(); err != nil {
+					return mechanism.EpisodeResult{}, err
+				}
+			}
+			res, err := run.Evaluate()
+			if err == nil && hooks.Episode != nil {
+				hooks.Episode(c, res, true)
+			}
+			return res, err
+		},
+	}
+}
+
+// Run compiles the spec and executes its mechanism × budget grid on the
+// experiment plan scheduler: every cell is an independent job (own
+// environment, own training), workers bounds concurrency (1 = serial, 0 =
+// GOMAXPROCS), and the result is byte-identical at any worker count — the
+// invariant the conformance goldens pin.
+func Run(s *Spec, workers int) (*Result, error) {
+	return RunGated(s, workers, CellHooks{})
+}
+
+// RunGated is Run with session hooks threaded into every cell job — the
+// entry point internal/session drives. Run is RunGated with no hooks.
+func RunGated(s *Spec, workers int, hooks CellHooks) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]experiment.Job[mechanism.EpisodeResult], 0, len(cells))
+	for _, c := range cells {
+		jobs = append(jobs, CellJob(s, c, hooks))
 	}
 	results, err := experiment.Plan[mechanism.EpisodeResult]{
 		Name:    "scenario:" + s.Name,
@@ -77,7 +201,7 @@ func Run(s *Spec, workers int) (*Result, error) {
 	}
 	out := &Result{Name: s.Name, Nodes: s.NumNodes()}
 	for i, c := range cells {
-		out.Cells = append(out.Cells, CellResult{Mechanism: c.mech, Budget: c.budget, Result: results[i]})
+		out.Cells = append(out.Cells, CellResult{Mechanism: c.Mechanism, Budget: c.Budget, Result: results[i]})
 	}
 	return out, nil
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"chiron/internal/edgeenv"
 	"chiron/internal/experiment"
 )
 
@@ -224,6 +225,15 @@ func (s *Spec) NumNodes() int {
 		n += c.Count
 	}
 	return n
+}
+
+// EpisodeRounds returns the episode round cap the compiled environment
+// will enforce: the spec's MaxRounds override, or the edgeenv default.
+func (s *Spec) EpisodeRounds() int {
+	if s.MaxRounds > 0 {
+		return s.MaxRounds
+	}
+	return edgeenv.DefaultMaxRounds
 }
 
 // Scale returns a copy with train/eval episode counts multiplied by f

@@ -1,0 +1,238 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"chiron/internal/faults"
+)
+
+// Registry tracks live node membership during a session's hold phase and
+// compiles it into a deterministic churn script at Start. This is the
+// boundary between the two clocks: registration and heartbeat deadlines
+// are wall-clock, but what they produce — arrival and departure *rounds*
+// declared by the nodes themselves — is pure simulation time, so the
+// latched script replays identically in every episode and in the CLI twin
+// (`chiron run -scenario ... -churn "<script>"`).
+//
+// Node protocol: a node registers with the simulation round it arrives at
+// (1 = present from the start) and keeps heartbeating, each beat declaring
+// the highest round it commits to covering. A node whose heartbeat lapses
+// — or that deregisters explicitly — departs mid-round at its last
+// declared round, forfeiting that round's payment under the standard churn
+// settlement. A node that lapses before its own arrival round never joins
+// at all.
+type Registry struct {
+	mu       sync.Mutex
+	clock    Clock
+	timeout  time.Duration
+	numNodes int
+	rounds   int // episode round cap; bounds declared rounds
+	latched  bool
+	nodes    map[int]*liveNode
+}
+
+// liveNode is one registered node's wall-clock and declared-round state.
+type liveNode struct {
+	from     int // declared arrival round
+	through  int // highest declared covered round
+	deadline time.Time
+	departed bool // explicit deregister or lapsed heartbeat
+}
+
+// newRegistry builds a registry for a fleet of numNodes over episodes of
+// at most rounds rounds.
+func newRegistry(clock Clock, timeout time.Duration, numNodes, rounds int) *Registry {
+	return &Registry{
+		clock:    clock,
+		timeout:  timeout,
+		numNodes: numNodes,
+		rounds:   rounds,
+		nodes:    make(map[int]*liveNode),
+	}
+}
+
+// check validates a mutation's node ID and the registry's phase.
+func (r *Registry) check(node int) error {
+	if r.latched {
+		return fmt.Errorf("session: registry is latched; membership is fixed once the session starts")
+	}
+	if node < 0 || node >= r.numNodes {
+		return fmt.Errorf("session: node %d outside fleet [0,%d)", node, r.numNodes)
+	}
+	return nil
+}
+
+// clampRound folds a declared round into [1, rounds].
+func (r *Registry) clampRound(round int) int {
+	if round < 1 {
+		return 1
+	}
+	if round > r.rounds {
+		return r.rounds
+	}
+	return round
+}
+
+// Register adds (or re-arms) a node. fromRound is the simulation round the
+// node arrives at (0 or 1 = present from the episode start). Registering
+// again resets the node's heartbeat deadline and departure state.
+func (r *Registry) Register(node, fromRound int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.check(node); err != nil {
+		return err
+	}
+	if fromRound < 0 || fromRound > r.rounds {
+		return fmt.Errorf("session: arrival round %d outside [0,%d]", fromRound, r.rounds)
+	}
+	from := r.clampRound(fromRound)
+	r.nodes[node] = &liveNode{
+		from:     from,
+		through:  from,
+		deadline: r.clock.Now().Add(r.timeout),
+	}
+	return nil
+}
+
+// Heartbeat re-arms a node's deadline and raises (never lowers) the
+// highest round it commits to covering. throughRound 0 keeps the current
+// commitment.
+func (r *Registry) Heartbeat(node, throughRound int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.check(node); err != nil {
+		return err
+	}
+	n, ok := r.nodes[node]
+	if !ok {
+		return fmt.Errorf("session: heartbeat from unregistered node %d", node)
+	}
+	if n.departed {
+		return fmt.Errorf("session: heartbeat from departed node %d", node)
+	}
+	r.sweepLocked()
+	if n.departed {
+		return fmt.Errorf("session: node %d heartbeat arrived after its deadline", node)
+	}
+	n.deadline = r.clock.Now().Add(r.timeout)
+	if t := r.clampRound(throughRound); throughRound > 0 && t > n.through {
+		n.through = t
+	}
+	return nil
+}
+
+// Deregister announces a node's departure at the given simulation round
+// (0 = its last declared round).
+func (r *Registry) Deregister(node, round int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.check(node); err != nil {
+		return err
+	}
+	n, ok := r.nodes[node]
+	if !ok {
+		return fmt.Errorf("session: deregister of unregistered node %d", node)
+	}
+	if round > 0 {
+		t := r.clampRound(round)
+		if t < n.from {
+			return fmt.Errorf("session: node %d departs at round %d before arriving at %d", node, t, n.from)
+		}
+		n.through = t
+	}
+	n.departed = true
+	return nil
+}
+
+// sweepLocked marks nodes whose heartbeat deadline has passed as departed.
+// Departure is permanent: a later heartbeat is rejected, but a fresh
+// Register may re-arm the node (its story restarts).
+func (r *Registry) sweepLocked() {
+	now := r.clock.Now()
+	for _, n := range r.nodes {
+		if !n.departed && now.After(n.deadline) {
+			n.departed = true
+		}
+	}
+}
+
+// Live counts registered nodes that are neither departed nor lapsed.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	live := 0
+	for _, n := range r.nodes {
+		if !n.departed {
+			live++
+		}
+	}
+	return live
+}
+
+// Latch freezes membership into a validated churn script and closes the
+// registry to further mutation. Nodes that never registered are treated as
+// fleet members present for the whole episode — the spec's fleet is the
+// universe; the registry only narrates deviations from full presence:
+//
+//   - alive, from round 1: no events (present throughout);
+//   - alive, from round k>1: arrival at k;
+//   - departed or lapsed: departure mid-round at its last declared round,
+//     preceded by its arrival when it joined late — unless the two
+//     coincide, in which case the node simply never joins.
+func (r *Registry) Latch() (*faults.ChurnScript, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	r.latched = true
+	var events []faults.ChurnEvent
+	for node, n := range r.nodes {
+		switch {
+		case !n.departed:
+			if n.from > 1 {
+				events = append(events, faults.ChurnEvent{Round: n.from, Node: node, Kind: faults.ChurnArrive})
+			}
+		case n.from > 1 && n.through == n.from:
+			// Arrive-and-depart in the same round is not expressible (and
+			// economically void): the node never enters the pool.
+			events = append(events, faults.ChurnEvent{Round: r.rounds + 1, Node: node, Kind: faults.ChurnArrive})
+		default:
+			if n.from > 1 {
+				events = append(events, faults.ChurnEvent{Round: n.from, Node: node, Kind: faults.ChurnArrive})
+			}
+			events = append(events, faults.ChurnEvent{Round: n.through, Node: node, Kind: faults.ChurnDepart})
+		}
+	}
+	script, err := faults.NewChurnScript(events)
+	if err != nil {
+		return nil, fmt.Errorf("session: latch registry: %w", err)
+	}
+	return script, nil
+}
+
+// ManualClock is a test Clock advanced by hand.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock starts a manual clock at t.
+func NewManualClock(t time.Time) *ManualClock {
+	return &ManualClock{now: t}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// Sleep overrides how the restart pause is served (nil = time.Sleep);
 	// tests inject a recorder here.
 	Sleep func(time.Duration)
+	// Gate, when set, is consulted before every training chunk. It may
+	// block (a hosted session parks here while paused); a returned error
+	// stops the run early — Run flushes a final checkpoint of the live
+	// target and returns the gate's error verbatim, so callers can
+	// distinguish a requested stop (errors.Is on their sentinel) from a
+	// training failure.
+	Gate func() error
 }
 
 // Report summarizes what one Run survived.
@@ -138,6 +145,14 @@ func (r *Runner) Checkpoints() ([]string, error) {
 	}
 	var names []string
 	for _, e := range entries {
+		// Foreign files — editor temps, half-written .tmp leftovers,
+		// unpadded lookalikes, or a directory that happens to match the
+		// pattern — must never become recovery candidates: a junk
+		// "checkpoint" would abort recovery with an unrecoverable read
+		// error instead of falling back to the real newest file.
+		if e.IsDir() {
+			continue
+		}
 		var n int
 		if _, err := fmt.Sscanf(e.Name(), "ckpt-%08d.json", &n); err == nil &&
 			e.Name() == fmt.Sprintf("ckpt-%08d.json", n) {
@@ -215,6 +230,18 @@ func (r *Runner) Run(total int, callback func(mechanism.EpisodeResult)) (Target,
 		if done >= total {
 			return target, report, nil
 		}
+		if r.cfg.Gate != nil {
+			if gateErr := r.cfg.Gate(); gateErr != nil {
+				// Requested stop: flush the live target's state so a later
+				// run resumes from exactly here, then surface the gate's
+				// error unwrapped for the caller's sentinel check.
+				if err := r.Save(target); err != nil {
+					return target, report, err
+				}
+				report.Checkpoints++
+				return target, report, gateErr
+			}
+		}
 		chunk := r.cfg.Every
 		if done+chunk > total {
 			chunk = total - done
@@ -247,14 +274,22 @@ func (r *Runner) Run(total int, callback func(mechanism.EpisodeResult)) (Target,
 			continue
 		}
 		report.Episodes = append(report.Episodes, results...)
-		if err := target.SaveCheckpoint(r.checkpointPath(target.Episode())); err != nil {
-			return target, report, fmt.Errorf("supervise: checkpoint: %w", err)
-		}
-		report.Checkpoints++
-		if err := r.prune(); err != nil {
+		if err := r.Save(target); err != nil {
 			return target, report, err
 		}
+		report.Checkpoints++
 	}
+}
+
+// Save checkpoints the target's current state at its episode counter
+// (atomic write-temp-then-rename via SaveCheckpoint) and prunes past the
+// Keep bound. Run calls it after every chunk; graceful-shutdown paths call
+// it directly to flush a final checkpoint before exiting.
+func (r *Runner) Save(t Target) error {
+	if err := t.SaveCheckpoint(r.checkpointPath(t.Episode())); err != nil {
+		return fmt.Errorf("supervise: checkpoint: %w", err)
+	}
+	return r.prune()
 }
 
 // prune deletes the oldest checkpoints past the Keep bound.

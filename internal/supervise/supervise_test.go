@@ -166,19 +166,40 @@ func TestRecoverAllCorruptStartsFresh(t *testing.T) {
 	}
 }
 
-func TestRecoverHardErrorAborts(t *testing.T) {
+func TestCheckpointsIgnoreForeignEntries(t *testing.T) {
 	dir := t.TempDir()
 	r, err := New(fakeFactory(nil), Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// An unreadable checkpoint (a directory squatting on the path) is an
-	// I/O error, not corruption — recovery must surface it, not skip it.
-	if err := os.Mkdir(r.checkpointPath(3), 0o755); err != nil {
+	// A directory squatting on a checkpoint name, a half-written temp, an
+	// unpadded lookalike, and plain junk must all be invisible: none is a
+	// recovery candidate, and none may abort recovery of the real file.
+	if err := os.Mkdir(r.checkpointPath(9), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Recover(); err == nil {
-		t.Fatal("Recover ignored a hard I/O error")
+	for _, junk := range []string{"ckpt-00000005.json.tmp", "ckpt-123.json", "README.md", "ckpt-.json"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := &fakeTarget{episode: 4}
+	if err := f.SaveCheckpoint(r.checkpointPath(4)); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := r.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != r.checkpointPath(4) {
+		t.Fatalf("Checkpoints() = %v, want only %s", paths, r.checkpointPath(4))
+	}
+	target, skipped, err := r.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || target.Episode() != 4 {
+		t.Fatalf("skipped %d, episode %d, want 0, 4", skipped, target.Episode())
 	}
 }
 
@@ -396,5 +417,50 @@ func TestRecoverableClassification(t *testing.T) {
 		if got := recoverable(tc.err); got != tc.want {
 			t.Errorf("recoverable(%v) = %v, want %v", tc.err, got, tc.want)
 		}
+	}
+}
+
+func TestRunGateStopFlushesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	stop := errors.New("stop requested")
+	chunks := 0
+	cfg := Config{Dir: dir, Every: 2, Gate: func() error {
+		chunks++
+		if chunks > 2 {
+			return stop
+		}
+		return nil
+	}}
+	r, err := New(fakeFactory(nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, report, err := r.Run(10, nil)
+	if !errors.Is(err, stop) {
+		t.Fatalf("Run error = %v, want the gate sentinel", err)
+	}
+	// Two chunks of 2 ran before the gate tripped; the stop must have
+	// flushed a final checkpoint at the live episode counter.
+	if target.Episode() != 4 {
+		t.Fatalf("stopped at episode %d, want 4", target.Episode())
+	}
+	if _, err := os.Stat(r.checkpointPath(4)); err != nil {
+		t.Fatalf("final checkpoint not flushed: %v", err)
+	}
+	if report.Checkpoints != 3 {
+		t.Errorf("report.Checkpoints = %d, want 3 (two chunk saves + stop flush)", report.Checkpoints)
+	}
+
+	// A fresh run resumes from exactly the flushed state.
+	r2, err := New(fakeFactory(nil), Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target2, report2, err := r2.Run(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.ResumedFrom != 4 || target2.Episode() != 10 {
+		t.Errorf("resumed from %d to %d, want 4 to 10", report2.ResumedFrom, target2.Episode())
 	}
 }
