@@ -1,14 +1,23 @@
-// Command benchgate compares a fresh `go test -bench Compute` run against
-// the committed BENCH_compute.json baseline and fails when throughput has
-// regressed. Per-benchmark ratios (current ns/op over baseline "after"
-// ns/op) are combined as a geometric mean, so one noisy benchmark cannot
-// mask — or fake — a regression on its own; the gate trips when the
-// geomean exceeds 1+threshold (default 10%).
+// Command benchgate compares fresh benchmark runs against committed
+// baselines and fails when throughput has regressed. Each baseline is
+// gated on its own geometric mean of per-benchmark ratios (current ns/op
+// over baseline ns/op), so one noisy benchmark cannot mask — or fake — a
+// regression on its own; a gate trips when its geomean exceeds
+// 1+threshold.
+//
+// Two baselines are understood: the compute microbenchmarks
+// (BENCH_compute.json vs `go test -bench Compute` text output, gated at
+// -threshold, default 10%) and the fleet round-throughput ladder
+// (BENCH_fleet.json vs a fresh fleetbench JSON report, matched per fleet
+// size on ns/node·round and gated at -fleet-threshold, default 25% — the
+// ladder's sub-second wall times are noisier than the microbenchmarks).
 //
 // Usage:
 //
 //	go test -run '^$' -bench Compute -benchmem . | tee bench.txt
 //	benchgate -baseline BENCH_compute.json -bench bench.txt [-threshold 0.10]
+//	fleetbench -cases 1000:256,10000:64 -out fleet_ci.json
+//	benchgate -fleet-baseline BENCH_fleet.json -fleet fleet_ci.json
 package main
 
 import (
@@ -48,37 +57,136 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
-	baselinePath := fs.String("baseline", "BENCH_compute.json", "committed baseline JSON")
-	benchPath := fs.String("bench", "", "go test -bench output to check (required)")
-	threshold := fs.Float64("threshold", 0.10, "maximum allowed geomean slowdown, e.g. 0.10 = +10%")
+	baselinePath := fs.String("baseline", "BENCH_compute.json", "committed compute baseline JSON")
+	benchPath := fs.String("bench", "", "go test -bench output to check")
+	threshold := fs.Float64("threshold", 0.10, "maximum allowed compute geomean slowdown, e.g. 0.10 = +10%")
+	fleetBaselinePath := fs.String("fleet-baseline", "BENCH_fleet.json", "committed fleet baseline JSON")
+	fleetPath := fs.String("fleet", "", "fresh fleetbench JSON report to check")
+	fleetThreshold := fs.Float64("fleet-threshold", 0.25, "maximum allowed fleet geomean slowdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	baseline, baseProcs, err := loadBaseline(*baselinePath)
-	if err != nil {
-		return err
+	if *benchPath == "" && *fleetPath == "" {
+		return fmt.Errorf("nothing to gate: pass -bench (go test output) and/or -fleet (fleetbench JSON)")
 	}
-	current, runProcs, err := loadBenchOutput(*benchPath)
-	if err != nil {
-		return err
+	var failures []string
+	if *benchPath != "" {
+		baseline, baseProcs, err := loadBaseline(*baselinePath)
+		if err != nil {
+			return err
+		}
+		current, runProcs, err := loadBenchOutput(*benchPath)
+		if err != nil {
+			return err
+		}
+		report, err := gate(baseline, current, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "compute gate (%s):\n%s", *baselinePath, report.String())
+		// ns/op shifts with the CPU count on parallel workloads, so a gate
+		// verdict across differing GOMAXPROCS is advisory at best. Warn
+		// rather than fail: CI boxes legitimately differ from the baseline
+		// recorder.
+		if baseProcs > 0 && runProcs > 0 && baseProcs != runProcs {
+			fmt.Fprintf(w, "warning: baseline recorded at GOMAXPROCS=%d but this run used %d CPUs — ratios are not comparable across CPU counts\n",
+				baseProcs, runProcs)
+		}
+		if report.Failed {
+			failures = append(failures, fmt.Sprintf("compute geomean ratio %.3f exceeds %.3f", report.Geomean, 1+report.Threshold))
+		}
 	}
-	report, err := gate(baseline, current, *threshold)
-	if err != nil {
-		return err
+	if *fleetPath != "" {
+		report, err := gateFleet(*fleetBaselinePath, *fleetPath, *fleetThreshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fleet gate (%s):\n%s", *fleetBaselinePath, report.String())
+		if report.Failed {
+			failures = append(failures, fmt.Sprintf("fleet geomean ratio %.3f exceeds %.3f", report.Geomean, 1+report.Threshold))
+		}
 	}
-	fmt.Fprint(w, report.String())
-	// ns/op shifts with the CPU count on parallel workloads, so a gate
-	// verdict across differing GOMAXPROCS is advisory at best. Warn rather
-	// than fail: CI boxes legitimately differ from the baseline recorder.
-	if baseProcs > 0 && runProcs > 0 && baseProcs != runProcs {
-		fmt.Fprintf(w, "warning: baseline recorded at GOMAXPROCS=%d but this run used %d CPUs — ratios are not comparable across CPU counts\n",
-			baseProcs, runProcs)
-	}
-	if report.Failed {
-		return fmt.Errorf("geomean ratio %.3f exceeds %.3f (+%d%% threshold)",
-			report.Geomean, 1+report.Threshold, int(report.Threshold*100))
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// fleetFile mirrors the fleetbench JSON report; only the fields the gate
+// needs are declared.
+type fleetFile struct {
+	Results []struct {
+		Nodes          int     `json:"nodes"`
+		NsPerNodeRound float64 `json:"ns_per_node_round"`
+	} `json:"results"`
+}
+
+// loadFleet reads a fleetbench report into fleet size → ns/node·round.
+func loadFleet(path string) (map[int]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read fleet report: %w", err)
+	}
+	var ff fleetFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("parse fleet report %s: %w", path, err)
+	}
+	out := make(map[int]float64, len(ff.Results))
+	for _, r := range ff.Results {
+		if r.NsPerNodeRound <= 0 {
+			return nil, fmt.Errorf("fleet report %s: N=%d has non-positive ns_per_node_round", path, r.Nodes)
+		}
+		out[r.Nodes] = r.NsPerNodeRound
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fleet report %s: no results", path)
+	}
+	return out, nil
+}
+
+// gateFleet compares a fresh fleetbench ladder against the committed one,
+// matched per fleet size on ns/node·round — a per-node normalization, so a
+// CI ladder running fewer rounds per size still compares. Baseline sizes
+// the fresh run skipped are reported by name (never silently dropped); at
+// least one size must overlap.
+func gateFleet(baselinePath, runPath string, threshold float64) (gateReport, error) {
+	if threshold <= 0 {
+		return gateReport{}, fmt.Errorf("fleet threshold %v must be positive", threshold)
+	}
+	baseline, err := loadFleet(baselinePath)
+	if err != nil {
+		return gateReport{}, err
+	}
+	current, err := loadFleet(runPath)
+	if err != nil {
+		return gateReport{}, err
+	}
+	sizes := make([]int, 0, len(baseline))
+	for n := range baseline {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	report := gateReport{Threshold: threshold}
+	logSum := 0.0
+	matched := 0
+	for _, n := range sizes {
+		name := fmt.Sprintf("fleet N=%d ns/node·round", n)
+		now, ok := current[n]
+		if !ok {
+			report.Skipped = append(report.Skipped, name)
+			continue
+		}
+		ratio := now / baseline[n]
+		logSum += math.Log(ratio)
+		matched++
+		report.Rows = append(report.Rows, gateRow{Name: name, BaselineNs: baseline[n], NowNs: now, Ratio: ratio})
+	}
+	if matched == 0 {
+		return gateReport{}, fmt.Errorf("fleet gate: no fleet size in %s matches the baseline ladder", runPath)
+	}
+	report.Geomean = math.Exp(logSum / float64(matched))
+	report.Failed = report.Geomean > 1+threshold
+	return report, nil
 }
 
 // loadBaseline reads the committed baseline and returns name → ns/op for
@@ -152,6 +260,7 @@ func loadBenchOutput(path string) (map[string]float64, int, error) {
 // gateReport is the rendered comparison plus the pass/fail verdict.
 type gateReport struct {
 	Rows      []gateRow
+	Skipped   []string
 	Geomean   float64
 	Threshold float64
 	Failed    bool
@@ -168,6 +277,9 @@ func (r gateReport) String() string {
 	fmt.Fprintf(&b, "%-42s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%-42s %14.0f %14.0f %8.3f\n", row.Name, row.BaselineNs, row.NowNs, row.Ratio)
+	}
+	for _, name := range r.Skipped {
+		fmt.Fprintf(&b, "%-42s (in baseline, not in this run — skipped)\n", name)
 	}
 	verdict := "ok"
 	if r.Failed {

@@ -153,3 +153,94 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("regressed run passed:\n%s", sb.String())
 	}
 }
+
+const fleetBaselineJSON = `{
+  "results": [
+    {"nodes": 1000, "ns_per_node_round": 17.2},
+    {"nodes": 10000, "ns_per_node_round": 17.8},
+    {"nodes": 1000000, "ns_per_node_round": 17.5}
+  ]
+}`
+
+func TestGateFleetMatchesPerSizeAndSkipsMissing(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "fleet_base.json", fleetBaselineJSON)
+	// CI ladder: subset of the committed sizes (no 1M case), within noise.
+	run1 := writeFile(t, dir, "fleet_ci.json", `{
+	  "results": [
+	    {"nodes": 1000, "ns_per_node_round": 18.0},
+	    {"nodes": 10000, "ns_per_node_round": 17.0}
+	  ]
+	}`)
+	r, err := gateFleet(baseline, run1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed {
+		t.Fatalf("within-noise ladder failed: %+v", r)
+	}
+	if len(r.Rows) != 2 || len(r.Skipped) != 1 {
+		t.Fatalf("matched %d sizes, skipped %d; want 2 and 1", len(r.Rows), len(r.Skipped))
+	}
+	if !strings.Contains(r.String(), "N=1000000") {
+		t.Fatalf("skipped size not reported:\n%s", r.String())
+	}
+}
+
+func TestGateFleetFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "fleet_base.json", fleetBaselineJSON)
+	slow := writeFile(t, dir, "fleet_slow.json", `{
+	  "results": [
+	    {"nodes": 1000, "ns_per_node_round": 25.0},
+	    {"nodes": 10000, "ns_per_node_round": 26.0},
+	    {"nodes": 1000000, "ns_per_node_round": 24.0}
+	  ]
+	}`)
+	r, err := gateFleet(baseline, slow, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Failed {
+		t.Fatalf("~1.4x slowdown passed the 25%% fleet gate: %+v", r)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-fleet-baseline", baseline, "-fleet", slow}, &sb); err == nil {
+		t.Fatalf("regressed fleet run passed end to end:\n%s", sb.String())
+	}
+}
+
+func TestGateFleetNoOverlapIsError(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "fleet_base.json", fleetBaselineJSON)
+	other := writeFile(t, dir, "fleet_other.json", `{"results": [{"nodes": 42, "ns_per_node_round": 1.0}]}`)
+	if _, err := gateFleet(baseline, other, 0.25); err == nil {
+		t.Fatal("disjoint ladder produced a verdict instead of an error")
+	}
+}
+
+func TestRunRequiresSomethingToGate(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("run with neither -bench nor -fleet succeeded")
+	}
+}
+
+func TestRunGatesComputeAndFleetTogether(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "baseline.json", baselineJSON)
+	bench := writeFile(t, dir, "ok.txt", strings.Join([]string{
+		"BenchmarkComputeA-2 100 1020 ns/op",
+		"BenchmarkComputeB-2 100 2040 ns/op",
+	}, "\n"))
+	fleetBase := writeFile(t, dir, "fleet_base.json", fleetBaselineJSON)
+	fleetRun := writeFile(t, dir, "fleet_ci.json", `{"results": [{"nodes": 1000, "ns_per_node_round": 17.0}]}`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", baseline, "-bench", bench, "-fleet-baseline", fleetBase, "-fleet", fleetRun}, &sb); err != nil {
+		t.Fatalf("combined gate errored: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "compute gate") || !strings.Contains(out, "fleet gate") {
+		t.Fatalf("combined run missing a section:\n%s", out)
+	}
+}

@@ -12,9 +12,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"chiron/internal/accuracy"
+	"chiron/internal/core"
 	"chiron/internal/dataset"
+	"chiron/internal/device"
+	"chiron/internal/edgeenv"
 	"chiron/internal/fl"
 	"chiron/internal/mat"
+	"chiron/internal/mechanism"
 	"chiron/internal/nn"
 	"chiron/internal/rl"
 )
@@ -44,15 +49,17 @@ func BenchmarkComputeMLPForwardBackward(b *testing.B) {
 			b.Fatal(err)
 		}
 		net.ZeroGrad()
-		if _, err := net.Backward(grad); err != nil {
+		if err := net.BackwardParamsOnly(grad); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkComputeConv2DForwardBackward measures the im2col Conv2D path in
-// isolation: one forward+backward of the MNIST CNN's first convolution
-// (1→10 channels, 5×5) on a batch of 10.
+// isolation: one forward plus the parameter-gradient backward of the MNIST
+// CNN's first convolution (1→10 channels, 5×5) on a batch of 10 — as the
+// network's first layer its input gradient has no consumer, so the trained
+// hot path skips it.
 func BenchmarkComputeConv2DForwardBackward(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))
 	conv, err := nn.NewConv2D(rng, nn.Shape3{C: 1, H: 28, W: 28}, 10, 5)
@@ -69,7 +76,7 @@ func BenchmarkComputeConv2DForwardBackward(b *testing.B) {
 		if _, err := conv.Forward(x); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := conv.Backward(grad); err != nil {
+		if err := conv.BackwardParamsOnly(grad); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,6 +108,81 @@ func BenchmarkComputePPOUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := agent.Update(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFrozenGrid builds a frozen-checkpoint evaluation grid: `cells`
+// Chiron agents sharing one donor's policy weights, each bound to its own
+// environment — the setup of the robustness and fault-sweep ablations.
+func benchFrozenGrid(b *testing.B, cells int) []*core.Chiron {
+	b.Helper()
+	const nodes = 5
+	newEnv := func(seed int64) *edgeenv.Env {
+		fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(nodes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := edgeenv.DefaultConfig(fleet, acc, 150)
+		cfg.MaxRounds = 30
+		env, err := edgeenv.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return env
+	}
+	donor, err := core.New(newEnv(17), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck := donor.Checkpoint()
+	agents := make([]*core.Chiron, cells)
+	for i := range agents {
+		agent, err := core.New(newEnv(17+int64(i)*10), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := agent.Restore(ck); err != nil {
+			b.Fatal(err)
+		}
+		agents[i] = agent
+	}
+	return agents
+}
+
+// BenchmarkComputePolicyEvalSequential measures a 16-cell frozen-policy
+// evaluation grid the sequential way: one deterministic episode per cell,
+// each round running two 1×d policy forwards — the ablation runners' shape
+// before the lockstep evaluator.
+func BenchmarkComputePolicyEvalSequential(b *testing.B) {
+	agents := benchFrozenGrid(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, agent := range agents {
+			if _, err := mechanism.Evaluate(agent, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkComputePolicyEvalLockstep measures the same 16-cell grid through
+// core.EvaluateLockstep: all cells advance together and each round's
+// decisions evaluate with ONE batched forward per policy network. Results
+// are bit-identical to the sequential path (the propcheck lockstep property
+// pins this); only the GEMM shapes change.
+func BenchmarkComputePolicyEvalLockstep(b *testing.B) {
+	agents := benchFrozenGrid(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateLockstep(agents, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"chiron/internal/mat"
+	"chiron/internal/mechanism"
+	"chiron/internal/nn"
+)
+
+// Batched frozen-policy evaluation. The frozen-policy studies (robustness,
+// fault sweeps, grid sweeps) restore ONE checkpoint into many agents, each
+// bound to its own perturbed environment, and evaluate every cell with the
+// same deterministic policy. Sequentially that is one 1×d forward per agent
+// per round; EvaluateLockstep instead advances all cells in lockstep and
+// evaluates each round's decisions with ONE batched forward per policy —
+// one GEMM sweep per network per step instead of one per cell.
+//
+// Bit-exactness: every GEMM destination element accumulates over its own
+// reduction independently (internal/mat's kernel contract), so row r of the
+// batched forward is bit-identical to the 1×d forward of that cell's state,
+// and each cell's environment sees the exact call sequence the sequential
+// mechanism.Evaluate would produce. Per-cell results are folded through
+// mechanism.Aggregator in episode order — the same accumulation order as
+// Evaluate — so reports are byte-identical, which the propcheck equivalence
+// property pins over 200 randomized trials.
+
+// lockstepCell is one hosted evaluation: an agent, its environment, and the
+// episode bookkeeping the shared driver would otherwise own.
+type lockstepCell struct {
+	c         *Chiron
+	agg       mechanism.Aggregator
+	ext       *mechanism.Returns
+	inn       float64
+	left      int // episodes remaining, including any in progress
+	inEpisode bool
+	prices    []float64
+}
+
+// EvaluateLockstep averages episodes deterministic episodes for every agent,
+// batching all policy forwards across agents. All agents must share
+// bit-identical policy weights (the frozen-checkpoint setup) and matching
+// observation/action dimensions; results are bit-identical to calling
+// mechanism.Evaluate on each agent in turn.
+func EvaluateLockstep(agents []*Chiron, episodes int) ([]mechanism.EpisodeResult, error) {
+	return evaluateLockstep(agents, episodes, mat.Float64Backend)
+}
+
+// EvaluateLockstepBackend is EvaluateLockstep with an explicit compute
+// backend. The float64 backend is the bit-exact reference; the float32
+// backend runs the two policy forwards through precision-lowered fused
+// twins (nn.Fuse32) — results then carry float32 rounding and are validated
+// by tolerance properties, not digests.
+func EvaluateLockstepBackend(agents []*Chiron, episodes int, backend mat.Backend) ([]mechanism.EpisodeResult, error) {
+	return evaluateLockstep(agents, episodes, backend)
+}
+
+// sameWeights reports whether two networks hold bit-identical parameters.
+func sameWeights(a, b *nn.Network) bool {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		da, db := pa[i].Value.Data(), pb[i].Value.Data()
+		if len(da) != len(db) {
+			return false
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func evaluateLockstep(agents []*Chiron, episodes int, backend mat.Backend) ([]mechanism.EpisodeResult, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("core: lockstep evaluate with no agents")
+	}
+	if episodes <= 0 {
+		return nil, fmt.Errorf("core: lockstep evaluate %d episodes, want > 0", episodes)
+	}
+	shared := agents[0]
+	netE := shared.pairE.Agent.Policy().MeanNet()
+	netI := shared.pairI.Agent.Policy().MeanNet()
+	obsDim := shared.obs.Dim()
+	nodes := shared.env.NumNodes()
+	for i, a := range agents[1:] {
+		if a.obs.Dim() != obsDim || a.env.NumNodes() != nodes {
+			return nil, fmt.Errorf("core: lockstep agent %d dims obs=%d nodes=%d, want obs=%d nodes=%d",
+				i+1, a.obs.Dim(), a.env.NumNodes(), obsDim, nodes)
+		}
+		if !sameWeights(netE, a.pairE.Agent.Policy().MeanNet()) ||
+			!sameWeights(netI, a.pairI.Agent.Policy().MeanNet()) {
+			return nil, fmt.Errorf("core: lockstep agent %d does not share agent 0's policy weights", i+1)
+		}
+	}
+
+	// Optional precision-lowered twins for the two policy forwards.
+	var fusedE, fusedI *nn.FusedMLP32
+	if backend.Precision == mat.Float32 {
+		var ok bool
+		if fusedE, ok = nn.Fuse32(netE); !ok {
+			return nil, fmt.Errorf("core: lockstep float32: exterior policy does not fuse")
+		}
+		if fusedI, ok = nn.Fuse32(netI); !ok {
+			return nil, fmt.Errorf("core: lockstep float32: inner policy does not fuse")
+		}
+	}
+
+	cells := make([]lockstepCell, len(agents))
+	for i, a := range agents {
+		cells[i] = lockstepCell{c: a, left: episodes, prices: make([]float64, a.env.NumNodes())}
+	}
+
+	// Batch workspaces, re-ensured as finished cells shrink the batch.
+	var statesE, statesI, meansE, meansI *mat.Matrix
+	var totals []float64
+	deciding := make([]*lockstepCell, 0, len(cells))
+
+	// forward evaluates one policy batch in the configured backend. In
+	// float32 the output is widened row by row into out64 for the heads.
+	forward := func(states *mat.Matrix, fused *nn.FusedMLP32, agent interface {
+		ActDeterministicBatch(*mat.Matrix) (*mat.Matrix, error)
+	}, out64 *mat.Matrix) (*mat.Matrix, error) {
+		if fused == nil {
+			return agent.ActDeterministicBatch(states)
+		}
+		x32, err := fused.Stage(states)
+		if err != nil {
+			return nil, err
+		}
+		y32, err := fused.Forward(x32)
+		if err != nil {
+			return nil, err
+		}
+		out64 = mat.Ensure(out64, y32.Rows(), y32.Cols())
+		for i, v := range y32.Data() {
+			out64.Data()[i] = float64(v)
+		}
+		return out64, nil
+	}
+
+	for {
+		deciding = deciding[:0]
+		for i := range cells {
+			cell := &cells[i]
+			if cell.left == 0 {
+				continue
+			}
+			if !cell.inEpisode {
+				if err := cell.c.env.Reset(); err != nil {
+					return nil, fmt.Errorf("core: lockstep reset: %w", err)
+				}
+				cell.ext = mechanism.NewReturns()
+				cell.inn = 0
+				cell.inEpisode = true
+			}
+			if cell.c.env.Done() {
+				finishLockstepEpisode(cell)
+				continue
+			}
+			deciding = append(deciding, cell)
+		}
+		if len(deciding) == 0 {
+			allDone := true
+			for i := range cells {
+				if cells[i].left > 0 {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+			continue
+		}
+
+		// One exterior forward for every deciding cell.
+		statesE = mat.Ensure(statesE, len(deciding), obsDim)
+		for r, cell := range deciding {
+			cell.c.obs.EncodeTo(statesE.Row(r))
+		}
+		var err error
+		if meansE, err = forward(statesE, fusedE, shared.pairE.Agent, meansE); err != nil {
+			return nil, fmt.Errorf("core: lockstep exterior act: %w", err)
+		}
+		totals = mat.EnsureVec(totals, len(deciding))
+		for r, cell := range deciding {
+			totals[r] = cell.c.priceHead.Total(meansE.At(r, 0))
+		}
+
+		// One inner forward, conditioned on each cell's exterior action.
+		statesI = mat.Ensure(statesI, len(deciding), 1)
+		for r, cell := range deciding {
+			cell.c.cond.EncodeTotal(statesI.Row(r), totals[r])
+		}
+		if meansI, err = forward(statesI, fusedI, shared.pairI.Agent, meansI); err != nil {
+			return nil, fmt.Errorf("core: lockstep inner act: %w", err)
+		}
+
+		// Step every deciding cell's environment with its own prices.
+		for r, cell := range deciding {
+			if err := cell.c.allocHead.PricesTo(cell.prices, totals[r], meansI.Row(r)); err != nil {
+				return nil, fmt.Errorf("core: lockstep prices: %w", err)
+			}
+			res, err := cell.c.env.Step(cell.prices)
+			if err != nil {
+				return nil, fmt.Errorf("core: lockstep step: %w", err)
+			}
+			if res.Done && res.Round.Participants == 0 {
+				// Budget exhausted: the round was discarded (Sec. V-A), no
+				// reward is accumulated for it.
+				finishLockstepEpisode(cell)
+				continue
+			}
+			cell.ext.Add(res.ExteriorReward)
+			cell.inn += res.InnerReward
+			if res.Done {
+				finishLockstepEpisode(cell)
+			}
+		}
+	}
+
+	results := make([]mechanism.EpisodeResult, len(cells))
+	for i := range cells {
+		results[i] = cells[i].agg.Result()
+	}
+	return results, nil
+}
+
+// finishLockstepEpisode summarizes the cell's episode exactly as the shared
+// driver would: advance the agent's episode counter, summarize from the
+// ledger, fold into the cell's aggregator.
+func finishLockstepEpisode(cell *lockstepCell) {
+	cell.c.drv.SetEpisode(cell.c.drv.Episode() + 1)
+	res := mechanism.Summarize(cell.c.env, cell.c.drv.Episode(), cell.ext, cell.inn)
+	cell.agg.Add(res)
+	cell.left--
+	cell.inEpisode = false
+}

@@ -223,24 +223,34 @@ func trainFrozenChiron(seed int64, scale float64) (*core.Checkpoint, []*device.N
 	return ch.Checkpoint(), fleet, nil
 }
 
-// evalFrozenChiron restores ck into a fresh agent bound to env and runs the
-// deterministic evaluation — the shared tail of every frozen-policy job.
-func evalFrozenChiron(env *edgeenv.Env, ck *core.Checkpoint, seed int64) (mechanism.EpisodeResult, error) {
-	agent, err := core.New(env, TunedChironConfig(seed))
-	if err != nil {
-		return mechanism.EpisodeResult{}, err
+// evalFrozenChironLockstep restores ck into one fresh agent per environment
+// and evaluates every cell in lockstep — the shared tail of the
+// frozen-policy studies. All cells share the frozen weights, so each
+// round's decisions across every scenario are computed with one batched
+// forward per policy network instead of one per cell; results are
+// bit-identical to evaluating each agent sequentially (see core.EvaluateLockstep).
+func evalFrozenChironLockstep(envs []*edgeenv.Env, ck *core.Checkpoint, seed int64) ([]mechanism.EpisodeResult, error) {
+	agents := make([]*core.Chiron, len(envs))
+	for i, env := range envs {
+		agent, err := core.New(env, TunedChironConfig(seed))
+		if err != nil {
+			return nil, err
+		}
+		if err := agent.Restore(ck); err != nil {
+			return nil, err
+		}
+		agents[i] = agent
 	}
-	if err := agent.Restore(ck); err != nil {
-		return mechanism.EpisodeResult{}, err
-	}
-	return mechanism.Evaluate(agent, 3)
+	return core.EvaluateLockstep(agents, 3)
 }
 
 // runRobustnessAblation trains once on the clean environment and evaluates
-// the frozen policy under increasing churn, one job per scenario. The
-// checkpoint and fleet are shared read-only across jobs; each job owns its
-// environment, churn RNG, and restored agent.
+// the frozen policy under increasing churn. The scenarios are not separate
+// jobs: every cell shares the frozen weights, so the lockstep evaluator
+// batches all five scenarios' per-round policy forwards into single GEMM
+// sweeps. Each scenario still owns its environment and churn RNG.
 func runRobustnessAblation(scale float64, jobs int) (string, error) {
+	_ = jobs // the lockstep evaluator IS the batching; env setup is cheap
 	const seed = 7
 	ck, fleet, err := trainFrozenChiron(seed, scale)
 	if err != nil {
@@ -257,30 +267,25 @@ func runRobustnessAblation(scale float64, jobs int) (string, error) {
 		{"availability 80%", 0, 0.80},
 		{"jitter 30% + avail 80%", 0.30, 0.80},
 	}
-	plan := Plan[mechanism.EpisodeResult]{Name: "abl-robust", Workers: jobs}
+	envs := make([]*edgeenv.Env, 0, len(scenarios))
 	for _, sc := range scenarios {
-		plan.Jobs = append(plan.Jobs, Job[mechanism.EpisodeResult]{
-			Label: fmt.Sprintf("Chiron %s seed=%d", sc.name, seed),
-			Run: func() (mechanism.EpisodeResult, error) {
-				acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
-				if err != nil {
-					return mechanism.EpisodeResult{}, err
-				}
-				cfg := edgeenv.DefaultConfig(fleet, acc, 300)
-				cfg.CommJitter = sc.jitter
-				cfg.Availability = sc.availability
-				if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
-					cfg.Rng = rand.New(rand.NewSource(seed + 2))
-				}
-				env, err := edgeenv.New(cfg)
-				if err != nil {
-					return mechanism.EpisodeResult{}, err
-				}
-				return evalFrozenChiron(env, ck, seed)
-			},
-		})
+		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+		if err != nil {
+			return "", err
+		}
+		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+		cfg.CommJitter = sc.jitter
+		cfg.Availability = sc.availability
+		if sc.jitter > 0 || (sc.availability > 0 && sc.availability < 1) {
+			cfg.Rng = rand.New(rand.NewSource(seed + 2))
+		}
+		env, err := edgeenv.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		envs = append(envs, env)
 	}
-	results, err := plan.Execute()
+	results, err := evalFrozenChironLockstep(envs, ck, seed)
 	if err != nil {
 		return "", err
 	}
@@ -313,9 +318,11 @@ func FleetDeadline(nodes []*device.Node) float64 {
 // runFaultSweep trains Chiron on the clean environment once, then
 // evaluates the frozen policy under escalating injected fault rates — the
 // degradation table for crash, straggler, upload-drop, and corruption
-// failures combined with a round deadline and zero failure payment. One
-// job per fault level.
+// failures combined with a round deadline and zero failure payment. The
+// fault levels evaluate together through the lockstep evaluator (one
+// batched forward per policy per round across all levels).
 func runFaultSweep(scale float64, jobs int) (string, error) {
+	_ = jobs // the lockstep evaluator IS the batching; env setup is cheap
 	const seed = 7
 	ck, fleet, err := trainFrozenChiron(seed, scale)
 	if err != nil {
@@ -332,57 +339,44 @@ func runFaultSweep(scale float64, jobs int) (string, error) {
 		{"severe (6x)", base.Scale(6)},
 	}
 	deadline := FleetDeadline(fleet)
-	type faultRow struct {
-		res      mechanism.EpisodeResult
-		failures int
-	}
-	plan := Plan[faultRow]{Name: "abl-faults", Workers: jobs}
+	envs := make([]*edgeenv.Env, 0, len(levels))
 	for _, lv := range levels {
-		plan.Jobs = append(plan.Jobs, Job[faultRow]{
-			Label: fmt.Sprintf("Chiron faults=%s seed=%d", lv.name, seed),
-			Run: func() (faultRow, error) {
-				acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
-				if err != nil {
-					return faultRow{}, err
-				}
-				cfg := edgeenv.DefaultConfig(fleet, acc, 300)
-				if lv.rates.Any() {
-					sampler, err := faults.NewSampler(lv.rates, seed+3)
-					if err != nil {
-						return faultRow{}, err
-					}
-					cfg.Faults = sampler
-					cfg.RoundDeadline = deadline
-					cfg.MaxRetries = 2
-					cfg.RetryBackoff = 1
-				}
-				env, err := edgeenv.New(cfg)
-				if err != nil {
-					return faultRow{}, err
-				}
-				res, err := evalFrozenChiron(env, ck, seed)
-				if err != nil {
-					return faultRow{}, err
-				}
-				// The ledger still holds the last evaluation episode, so its
-				// per-round outcomes give a representative failure count.
-				var failures int
-				for _, r := range env.Ledger().Rounds() {
-					failures += r.Failures()
-				}
-				return faultRow{res: res, failures: failures}, nil
-			},
-		})
+		acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, 5)
+		if err != nil {
+			return "", err
+		}
+		cfg := edgeenv.DefaultConfig(fleet, acc, 300)
+		if lv.rates.Any() {
+			sampler, err := faults.NewSampler(lv.rates, seed+3)
+			if err != nil {
+				return "", err
+			}
+			cfg.Faults = sampler
+			cfg.RoundDeadline = deadline
+			cfg.MaxRetries = 2
+			cfg.RetryBackoff = 1
+		}
+		env, err := edgeenv.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		envs = append(envs, env)
 	}
-	results, err := plan.Execute()
+	results, err := evalFrozenChironLockstep(envs, ck, seed)
 	if err != nil {
 		return "", err
 	}
 	rows := make([]string, 0, len(levels))
 	for i, lv := range levels {
-		row := results[i]
+		res := results[i]
+		// The ledger still holds the last evaluation episode, so its
+		// per-round outcomes give a representative failure count.
+		var failures int
+		for _, r := range envs[i].Ledger().Rounds() {
+			failures += r.Failures()
+		}
 		rows = append(rows, fmt.Sprintf("%-16s %10.3f %8d %10.1f%% %10d",
-			lv.name, row.res.FinalAccuracy, row.res.Rounds, 100*row.res.TimeEfficiency, row.failures))
+			lv.name, res.FinalAccuracy, res.Rounds, 100*res.TimeEfficiency, failures))
 	}
 	return renderRows(
 		DescribeExtra(AblFaults),

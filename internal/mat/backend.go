@@ -1,0 +1,64 @@
+package mat
+
+// Precision selects the element type of a compute path.
+type Precision int
+
+const (
+	// Float64 is the reference precision: every result is pinned bit-exactly
+	// by golden digests and the determinism properties.
+	Float64 Precision = iota
+	// Float32 is the opt-in reduced precision: half the memory traffic per
+	// element, validated against the float64 reference by tolerance
+	// properties rather than digests.
+	Float32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return "unknown"
+	}
+}
+
+// Backend bundles a precision with the tolerances within which that
+// precision's results are accepted as equivalent to the float64 reference.
+// It is a value type: callers thread it through construction (e.g.
+// nn.Fuse32) and tests use Within to phrase tolerance properties uniformly
+// across precisions.
+type Backend struct {
+	Precision Precision
+	// AbsTol and RelTol bound the acceptable deviation from the float64
+	// reference: |got − want| ≤ AbsTol + RelTol·|want|. Both are zero for
+	// the float64 backend, making Within exact equality — the reference
+	// semantics really are bit-identical, not merely "close".
+	AbsTol, RelTol float64
+}
+
+// Float64Backend is the reference backend. Within demands exact equality.
+var Float64Backend = Backend{Precision: Float64}
+
+// Float32Backend is the reduced-precision backend. The tolerances cover a
+// forward or forward+backward pass of the repository's small policy and
+// classifier MLPs (a few chained k≈64 reductions); they are deliberately
+// loose enough to be stable across kernel blocking changes and tight enough
+// that a precision bug (double rounding, wrong accumulator type) fails them.
+var Float32Backend = Backend{Precision: Float32, AbsTol: 1e-4, RelTol: 1e-3}
+
+// Within reports whether got is within the backend's tolerance of want:
+// |got − want| ≤ AbsTol + RelTol·|want|.
+func (b Backend) Within(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	w := want
+	if w < 0 {
+		w = -w
+	}
+	return d <= b.AbsTol+b.RelTol*w
+}

@@ -41,26 +41,11 @@ func MulTo(dst, a, b *Matrix) error {
 	return nil
 }
 
-// mulRange computes rows [lo, hi) of dst = a × b in ikj order: the inner
-// loop streams over contiguous rows and each dst element accumulates over k
-// ascending, so banding the rows never changes the reduction order.
+// mulRange computes rows [lo, hi) of dst = a × b via the register-tiled
+// kernel in gemm.go. Each dst element accumulates over k ascending, so
+// banding the rows never changes the reduction order.
 func mulRange(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for j := range drow {
-			drow[j] = 0
-		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	gemmRange(dst.data, dst.cols, a.data, a.cols, b.data, b.cols, lo, hi)
 }
 
 // MulTransATo computes dst = aᵀ × b without allocating. dst must be
@@ -73,57 +58,19 @@ func MulTransATo(dst, a, b *Matrix) error {
 		return err
 	}
 	if flops := a.rows * a.cols * b.cols; serialRows(a.cols, flops) {
-		mulTransASerial(dst, a, b)
+		mulTransARange(dst, a, b, 0, a.cols)
 	} else {
 		parallelRows(a.cols, flops, func(lo, hi int) { mulTransARange(dst, a, b, lo, hi) })
 	}
 	return nil
 }
 
-// mulTransASerial computes all of dst = aᵀ × b in k-outer order, streaming
-// sequentially over a's and b's rows — much friendlier to the cache than the
-// strided column reads of mulTransARange. Every dst element still
-// accumulates over k ascending, so the two forms are bit-identical; only the
-// banded form is safe to split across workers.
-func mulTransASerial(dst, a, b *Matrix) {
-	for i := range dst.data {
-		dst.data[i] = 0
-	}
-	for k := 0; k < a.rows; k++ {
-		arow := a.data[k*a.cols : (k+1)*a.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// mulTransARange computes rows [lo, hi) of dst = aᵀ × b: output row i reads
-// column i of a (strided) against the rows of b, accumulating over k
-// ascending.
+// mulTransARange computes rows [lo, hi) of dst = aᵀ × b via the k-tiled
+// kernel in gemm.go: output row i reads column i of a against the rows of
+// b, accumulating over k ascending, so the serial (full-range) and banded
+// forms are bit-identical.
 func mulTransARange(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for j := range drow {
-			drow[j] = 0
-		}
-		for k := 0; k < a.rows; k++ {
-			av := a.data[k*a.cols+i]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	gemmTransARange(dst.data, dst.cols, a.data, a.cols, a.rows, b.data, b.cols, lo, hi)
 }
 
 // MulTransBTo computes dst = a × bᵀ without allocating. dst must be
@@ -143,21 +90,10 @@ func MulTransBTo(dst, a, b *Matrix) error {
 	return nil
 }
 
-// mulTransBRange computes rows [lo, hi) of dst = a × bᵀ as row-dot-products
-// over k ascending.
+// mulTransBRange computes rows [lo, hi) of dst = a × bᵀ as register-blocked
+// row-dot-products over k ascending (gemm.go).
 func mulTransBRange(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			drow[j] = sum
-		}
-	}
+	gemmTransBRange(dst.data, dst.cols, a.data, a.cols, b.data, b.rows, lo, hi)
 }
 
 // AddTo computes dst = a + b elementwise without allocating. dst may alias

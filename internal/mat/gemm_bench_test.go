@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level benchmarks at the shapes the agent stack actually runs: the
+// policy/critic MLP layers (batch 32, widths 62→64→64→1) and the im2col
+// conv factorization (5760-row panels). These pin the register-tiled
+// kernels in gemm.go directly, below the nn layer.
+
+func benchMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkGemmMulTo(b *testing.B) {
+	cases := []struct{ m, k, n int }{
+		{32, 62, 64},   // policy MLP input layer
+		{32, 64, 64},   // policy MLP hidden layer
+		{32, 64, 1},    // value head
+		{5760, 10, 25}, // conv backward: grad × weights
+	}
+	for _, cs := range cases {
+		b.Run(fmt.Sprintf("%dx%dx%d", cs.m, cs.k, cs.n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := benchMatrix(rng, cs.m, cs.k)
+			bb := benchMatrix(rng, cs.k, cs.n)
+			dst := New(cs.m, cs.n)
+			b.SetBytes(int64(8 * cs.m * cs.k * cs.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MulTo(dst, a, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGemmMulTransATo(b *testing.B) {
+	cases := []struct{ m, k, n int }{
+		{62, 32, 64},   // dW of the input layer: xᵀ × grad
+		{64, 32, 64},   // dW of a hidden layer
+		{10, 5760, 25}, // conv dW: gradᵀ × im2col panel (deep k)
+	}
+	for _, cs := range cases {
+		b.Run(fmt.Sprintf("%dx%dx%d", cs.m, cs.k, cs.n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := benchMatrix(rng, cs.k, cs.m)
+			bb := benchMatrix(rng, cs.k, cs.n)
+			dst := New(cs.m, cs.n)
+			b.SetBytes(int64(8 * cs.m * cs.k * cs.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MulTransATo(dst, a, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGemmMulTransBTo(b *testing.B) {
+	cases := []struct{ m, k, n int }{
+		{32, 64, 64},   // dx through a hidden layer: grad × Wᵀ
+		{5760, 25, 10}, // conv forward: im2col panel × Wᵀ
+	}
+	for _, cs := range cases {
+		b.Run(fmt.Sprintf("%dx%dx%d", cs.m, cs.k, cs.n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := benchMatrix(rng, cs.m, cs.k)
+			bb := benchMatrix(rng, cs.n, cs.k)
+			dst := New(cs.m, cs.n)
+			b.SetBytes(int64(8 * cs.m * cs.k * cs.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MulTransBTo(dst, a, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rand32Pair draws a float64 matrix and its float32 downcast together.
+func rand32Pair(rng *rand.Rand, rows, cols int) (*Matrix, *Matrix32) {
+	m := New(rows, cols)
+	m.Randomize(rng, 1)
+	m32 := New32(rows, cols)
+	m32.SetFrom(m)
+	return m, m32
+}
+
+func TestMatrix32BasicOps(t *testing.T) {
+	m := New32(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 || m.Size() != 6 {
+		t.Fatalf("shape: %dx%d size %d", m.Rows(), m.Cols(), m.Size())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At after Set: %v", m.At(1, 2))
+	}
+	if m.Row(1)[2] != 5 {
+		t.Fatalf("Row view: %v", m.Row(1))
+	}
+	other := New32(2, 3)
+	other.CopyFrom(m)
+	other.AddScaled(m, 2)
+	if other.At(1, 2) != 15 {
+		t.Fatalf("AddScaled: %v", other.At(1, 2))
+	}
+	other.Scale(0.5)
+	if other.At(1, 2) != 7.5 {
+		t.Fatalf("Scale: %v", other.At(1, 2))
+	}
+	sums := make([]float32, 3)
+	other.SumRowsTo(sums)
+	if sums[2] != 7.5 {
+		t.Fatalf("SumRowsTo: %v", sums)
+	}
+	other.Zero()
+	if other.At(1, 2) != 0 {
+		t.Fatalf("Zero: %v", other.At(1, 2))
+	}
+}
+
+// TestMatrix32SetFromRoundTrips checks the downcast: every element is the
+// nearest float32 to its float64 source.
+func TestMatrix32SetFromRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, dst := rand32Pair(rng, 7, 11)
+	for i, v := range src.Data() {
+		if dst.Data()[i] != float32(v) {
+			t.Fatalf("element %d: %v != float32(%v)", i, dst.Data()[i], v)
+		}
+	}
+}
+
+// TestMatrix32MulWithinToleranceOfFloat64 pins the float32 GEMM kernels to
+// the float64 reference within the Float32Backend tolerance — the numeric
+// contract the opt-in low-precision path is validated by.
+func TestMatrix32MulWithinToleranceOfFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	backend := Float32Backend
+	a64, a32 := rand32Pair(rng, 33, 47)
+	b64, b32 := rand32Pair(rng, 47, 21)
+	want, err := Mul(nil, a64, b64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New32(33, 21)
+	if err := MulTo32(got, a32, b32); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		g := float64(got.Data()[i])
+		if !backend.Within(g, w) {
+			t.Fatalf("element %d: float32 %v vs float64 %v (diff %v) outside tolerance", i, g, w, math.Abs(g-w))
+		}
+	}
+}
+
+// transpose32 builds the explicit transpose of m.
+func transpose32(m *Matrix32) *Matrix32 {
+	out := New32(m.Cols(), m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func assertIdentical32(t *testing.T, name string, got, want *Matrix32) {
+	t.Helper()
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("%s element %d: %v != %v (not bit-identical)", name, i, got.Data()[i], w)
+		}
+	}
+}
+
+// TestMatrix32TransKernelsMatchExplicitTranspose checks MulTransATo32 and
+// MulTransBTo32 against MulTo32 on explicitly transposed operands. Equality
+// is exact: all three kernels accumulate each destination element over k in
+// ascending order, so the operand layout cannot move a single ULP.
+func TestMatrix32TransKernelsMatchExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, a := rand32Pair(rng, 19, 23)
+	_, b := rand32Pair(rng, 23, 17)
+	want := New32(19, 17)
+	if err := MulTo32(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	ta := New32(19, 17)
+	if err := MulTransATo32(ta, transpose32(a), b); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical32(t, "MulTransATo32", ta, want)
+	tb := New32(19, 17)
+	if err := MulTransBTo32(tb, a, transpose32(b)); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical32(t, "MulTransBTo32", tb, want)
+}
+
+// TestMatrix32ParallelGEMMBitIdentical demands bit-identical float32 GEMM
+// results at every worker count — the same row-banding determinism contract
+// the float64 kernels carry, on shapes crossing the parallel threshold.
+func TestMatrix32ParallelGEMMBitIdentical(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(6))
+	_, a := rand32Pair(rng, 97, 61)
+	_, b := rand32Pair(rng, 61, 53)
+	at := transpose32(a)
+	bt := transpose32(b)
+
+	SetWorkers(1)
+	m1, ta1, tb1 := New32(97, 53), New32(97, 53), New32(97, 53)
+	if err := MulTo32(m1, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := MulTransATo32(ta1, at, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := MulTransBTo32(tb1, a, bt); err != nil {
+		t.Fatal(err)
+	}
+	m, ta, tb := New32(97, 53), New32(97, 53), New32(97, 53)
+	for _, workers := range []int{2, 3, 4, 7} {
+		SetWorkers(workers)
+		if err := MulTo32(m, a, b); err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical32(t, "MulTo32", m, m1)
+		if err := MulTransATo32(ta, at, b); err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical32(t, "MulTransATo32", ta, ta1)
+		if err := MulTransBTo32(tb, a, bt); err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical32(t, "MulTransBTo32", tb, tb1)
+	}
+}
+
+// TestBackendWithin pins the tolerance semantics of the precision seam.
+func TestBackendWithin(t *testing.T) {
+	if Float64Backend.Precision.String() != "float64" || Float32Backend.Precision.String() != "float32" {
+		t.Fatalf("precision names: %q %q", Float64Backend.Precision.String(), Float32Backend.Precision.String())
+	}
+	// Float64 backend is exact equality.
+	if !Float64Backend.Within(1.0, 1.0) {
+		t.Fatal("f64 backend rejects equal values")
+	}
+	if Float64Backend.Within(1.0, 1.0+1e-15) {
+		t.Fatal("f64 backend accepts a ULP-scale difference")
+	}
+	// Float32 backend: abs + rel band.
+	if !Float32Backend.Within(1.00005, 1.0) {
+		t.Fatal("f32 backend rejects a within-band difference")
+	}
+	if Float32Backend.Within(1.1, 1.0) {
+		t.Fatal("f32 backend accepts a 10% error")
+	}
+}

@@ -12,6 +12,47 @@ type Trainable interface {
 	Train(episodes int, callback func(EpisodeResult)) ([]EpisodeResult, error)
 }
 
+// Aggregator folds per-episode results into their running sums and averages
+// them on Result. It is the ONE accumulation order for evaluation averages —
+// Evaluate and the batched lockstep evaluator both fold through it episode
+// by episode, so the floating-point averaging order (and therefore seeded
+// CSV output) is identical everywhere.
+type Aggregator struct {
+	agg EpisodeResult
+	n   int
+}
+
+// Add folds one episode's result into the running sums.
+func (a *Aggregator) Add(res EpisodeResult) {
+	a.n++
+	a.agg.Rounds += res.Rounds
+	a.agg.FinalAccuracy += res.FinalAccuracy
+	a.agg.ExteriorReturn += res.ExteriorReturn
+	a.agg.DiscountedReturn += res.DiscountedReturn
+	a.agg.InnerReturn += res.InnerReturn
+	a.agg.TimeEfficiency += res.TimeEfficiency
+	a.agg.TotalTime += res.TotalTime
+	a.agg.BudgetSpent += res.BudgetSpent
+	a.agg.ServerUtility += res.ServerUtility
+}
+
+// Result averages the folded episodes. It does not mutate the aggregator.
+func (a *Aggregator) Result() EpisodeResult {
+	out := a.agg
+	inv := 1 / float64(a.n)
+	out.Episode = a.n
+	out.Rounds = int(float64(out.Rounds)*inv + 0.5)
+	out.FinalAccuracy *= inv
+	out.ExteriorReturn *= inv
+	out.DiscountedReturn *= inv
+	out.InnerReturn *= inv
+	out.TimeEfficiency *= inv
+	out.TotalTime *= inv
+	out.BudgetSpent *= inv
+	out.ServerUtility *= inv
+	return out
+}
+
 // Evaluate averages episodes deterministic (train=false) episodes of m.
 // Every experiment runner funnels through this one accumulation loop so the
 // floating-point averaging order — and therefore seeded CSV output — is
@@ -20,34 +61,15 @@ func Evaluate(m Mechanism, episodes int) (EpisodeResult, error) {
 	if episodes <= 0 {
 		return EpisodeResult{}, fmt.Errorf("mechanism: evaluate %d episodes, want > 0", episodes)
 	}
-	var agg EpisodeResult
+	var agg Aggregator
 	for ep := 0; ep < episodes; ep++ {
 		res, err := m.RunEpisode(false)
 		if err != nil {
 			return EpisodeResult{}, fmt.Errorf("mechanism: eval episode %d: %w", ep+1, err)
 		}
-		agg.Rounds += res.Rounds
-		agg.FinalAccuracy += res.FinalAccuracy
-		agg.ExteriorReturn += res.ExteriorReturn
-		agg.DiscountedReturn += res.DiscountedReturn
-		agg.InnerReturn += res.InnerReturn
-		agg.TimeEfficiency += res.TimeEfficiency
-		agg.TotalTime += res.TotalTime
-		agg.BudgetSpent += res.BudgetSpent
-		agg.ServerUtility += res.ServerUtility
+		agg.Add(res)
 	}
-	inv := 1 / float64(episodes)
-	agg.Episode = episodes
-	agg.Rounds = int(float64(agg.Rounds)*inv + 0.5)
-	agg.FinalAccuracy *= inv
-	agg.ExteriorReturn *= inv
-	agg.DiscountedReturn *= inv
-	agg.InnerReturn *= inv
-	agg.TimeEfficiency *= inv
-	agg.TotalTime *= inv
-	agg.BudgetSpent *= inv
-	agg.ServerUtility *= inv
-	return agg, nil
+	return agg.Result(), nil
 }
 
 // TrainAndEvaluate trains m for trainEpisodes when it is Trainable (static

@@ -19,6 +19,22 @@ func ensureVec(v []float64, n int) []float64 {
 	return mat.EnsureVec(v, n)
 }
 
+// ensureMat32 is ensureMat for the float32 backend.
+func ensureMat32(m *mat.Matrix32, rows, cols int) *mat.Matrix32 {
+	if m != nil && m.Rows() == rows && m.Cols() == cols {
+		return m
+	}
+	return mat.New32(rows, cols)
+}
+
+// ensureVec32 is ensureVec for the float32 backend.
+func ensureVec32(v []float32, n int) []float32 {
+	if len(v) == n {
+		return v
+	}
+	return make([]float32, n)
+}
+
 // ensureInts returns v when it already has length n, else a fresh slice.
 func ensureInts(v []int, n int) []int {
 	if len(v) == n {

@@ -119,6 +119,18 @@ func (c *Conv2D) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	return c.backward(grad, true)
+}
+
+// BackwardParamsOnly accumulates dW and db but skips the input-gradient
+// half of the pass (the dcols GEMM and the col2im fold) — dead work when
+// the convolution is a network's first layer, as in the MNIST CNN.
+func (c *Conv2D) BackwardParamsOnly(grad *mat.Matrix) error {
+	_, err := c.backward(grad, false)
+	return err
+}
+
+func (c *Conv2D) backward(grad *mat.Matrix, needInputGrad bool) (*mat.Matrix, error) {
 	if c.lastCol == nil {
 		return nil, fmt.Errorf("nn: conv2d backward before forward")
 	}
@@ -151,6 +163,9 @@ func (c *Conv2D) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 	}
 	if err := c.w.Grad.AddScaled(c.dw, 1); err != nil {
 		return nil, fmt.Errorf("nn: conv2d backward accumulate dW: %w", err)
+	}
+	if !needInputGrad {
+		return nil, nil
 	}
 	// dcols = gp·W, then fold back (col2im) into the input layout.
 	c.dcols = ensureMat(c.dcols, gp.Rows(), c.w.Value.Cols())

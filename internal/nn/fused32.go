@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"fmt"
+
+	"chiron/internal/mat"
+)
+
+// Param32 couples a float32 parameter tensor with its gradient accumulator —
+// the reduced-precision twin of Param, owned by a FusedMLP32 rather than by
+// a layer (the float64 layers stay the source of truth for training state).
+type Param32 struct {
+	Value *mat.Matrix32
+	Grad  *mat.Matrix32
+}
+
+// FusedMLP32 is the float32 twin of FusedMLP: the same single-pass fused
+// forward+backward plan, running every GEMM and epilogue in float32. It is
+// built from a float64 Network (Fuse32) by down-converting that network's
+// parameters; Refresh re-converts after the float64 side trains. Gradients
+// accumulate into the plan's own Param32 tensors — the float64 network
+// never observes float32 arithmetic.
+//
+// Unlike the float64 plan, nothing here is pinned by bit-exact digests.
+// The contract is the tolerance one: outputs and gradients stay within
+// mat.Float32Backend.Within of the float64 reference for the repository's
+// network sizes, which the gradcheck and propcheck suites enforce.
+type FusedMLP32 struct {
+	units   []fusedUnit32
+	backend mat.Backend
+	lastX   *mat.Matrix32
+	xbuf    *mat.Matrix32 // staging buffer for float64 inputs
+	ys      []*mat.Matrix32
+	delta   []*mat.Matrix32
+	dw      []*mat.Matrix32
+	dxs     []*mat.Matrix32
+	sums    [][]float32
+}
+
+// fusedUnit32 is one down-converted Dense layer plus its fused activation.
+type fusedUnit32 struct {
+	src     *Dense // float64 source, re-read by Refresh
+	w, b    Param32
+	act     Activation
+	in, out int
+}
+
+// Fuse32 builds a float32 fused plan from the network's layer stack. Like
+// Fuse it reports false when the stack is not a pure Dense/Activate MLP.
+// The returned plan holds down-converted copies of the network's current
+// parameters; call Refresh after the float64 network takes optimizer steps.
+func Fuse32(n *Network) (*FusedMLP32, bool) {
+	plan, ok := fuseLayers(n.layers)
+	if !ok {
+		return nil, false
+	}
+	units := make([]fusedUnit32, len(plan.units))
+	for i, u := range plan.units {
+		d := u.dense
+		units[i] = fusedUnit32{
+			src: d,
+			w: Param32{
+				Value: mat.New32(d.w.Value.Rows(), d.w.Value.Cols()),
+				Grad:  mat.New32(d.w.Grad.Rows(), d.w.Grad.Cols()),
+			},
+			b: Param32{
+				Value: mat.New32(d.b.Value.Rows(), d.b.Value.Cols()),
+				Grad:  mat.New32(d.b.Grad.Rows(), d.b.Grad.Cols()),
+			},
+			act: u.act,
+			in:  d.in,
+			out: d.out,
+		}
+	}
+	f := &FusedMLP32{
+		units:   units,
+		backend: mat.Float32Backend,
+		ys:      make([]*mat.Matrix32, len(units)),
+		delta:   make([]*mat.Matrix32, len(units)),
+		dw:      make([]*mat.Matrix32, len(units)),
+		dxs:     make([]*mat.Matrix32, len(units)),
+		sums:    make([][]float32, len(units)),
+	}
+	f.Refresh()
+	return f, true
+}
+
+// Backend reports the plan's backend (precision plus tolerances).
+func (f *FusedMLP32) Backend() mat.Backend { return f.backend }
+
+// Refresh re-downcasts every parameter from the float64 source network —
+// the one boundary where float64 training state enters the float32 world.
+func (f *FusedMLP32) Refresh() {
+	for i := range f.units {
+		u := &f.units[i]
+		// SetFrom cannot fail here: the tensors were sized from the source.
+		_ = u.w.Value.SetFrom(u.src.w.Value)
+		_ = u.b.Value.SetFrom(u.src.b.Value)
+	}
+}
+
+// Params32 returns the plan's float32 parameters in layer order (w, b per
+// unit), for gradient checks and float32-side optimizers.
+func (f *FusedMLP32) Params32() []Param32 {
+	out := make([]Param32, 0, 2*len(f.units))
+	for i := range f.units {
+		out = append(out, f.units[i].w, f.units[i].b)
+	}
+	return out
+}
+
+// ZeroGrad clears the plan's float32 gradient accumulators.
+func (f *FusedMLP32) ZeroGrad() {
+	for i := range f.units {
+		f.units[i].w.Grad.Zero()
+		f.units[i].b.Grad.Zero()
+	}
+}
+
+// Stage down-converts a float64 batch into the plan's input staging buffer,
+// reused across calls.
+func (f *FusedMLP32) Stage(x *mat.Matrix) (*mat.Matrix32, error) {
+	f.xbuf = ensureMat32(f.xbuf, x.Rows(), x.Cols())
+	if err := f.xbuf.SetFrom(x); err != nil {
+		return nil, fmt.Errorf("nn: fused32 stage: %w", err)
+	}
+	return f.xbuf, nil
+}
+
+// Forward runs the batch through every unit in float32: GEMM, then one
+// epilogue sweep adding the bias and applying the activation. The returned
+// matrix is a workspace reused by the next call.
+func (f *FusedMLP32) Forward(x *mat.Matrix32) (*mat.Matrix32, error) {
+	f.lastX = x
+	for l := range f.units {
+		u := &f.units[l]
+		if x.Cols() != u.in {
+			return nil, fmt.Errorf("nn: fused32 forward unit %d: input width %d, want %d", l, x.Cols(), u.in)
+		}
+		y := ensureMat32(f.ys[l], x.Rows(), u.out)
+		f.ys[l] = y
+		if err := mat.MulTo32(y, x, u.w.Value); err != nil {
+			return nil, fmt.Errorf("nn: fused32 forward unit %d: %w", l, err)
+		}
+		epilogue32(y, u.b.Value.Row(0), u.act)
+		x = y
+	}
+	return x, nil
+}
+
+// epilogue32 adds the bias row vector and applies the activation in one
+// sweep over y. The transcendental activations widen through float64
+// (mat.Tanh32/Sigmoid32) so the only float32 rounding is the final store.
+func epilogue32(y *mat.Matrix32, bias []float32, act Activation) {
+	rows, cols := y.Rows(), y.Cols()
+	data := y.Data()
+	for r := 0; r < rows; r++ {
+		yrow := data[r*cols : (r+1)*cols]
+		switch act {
+		case ActTanh:
+			for j, bv := range bias {
+				yrow[j] = mat.Tanh32(yrow[j] + bv)
+			}
+		case ActReLU:
+			for j, bv := range bias {
+				if v := yrow[j] + bv; v < 0 {
+					yrow[j] = 0
+				} else {
+					yrow[j] = v
+				}
+			}
+		case ActSigmoid:
+			for j, bv := range bias {
+				yrow[j] = mat.Sigmoid32(yrow[j] + bv)
+			}
+		default:
+			for j, bv := range bias {
+				yrow[j] += bv
+			}
+		}
+	}
+}
+
+// Backward propagates grad back through every unit, accumulating into the
+// plan's Param32 gradients. Mirrors FusedMLP.Backward: the activation
+// derivative folds into the delta production, and when needInputGrad is
+// false the first unit's input-gradient GEMM is skipped.
+func (f *FusedMLP32) Backward(grad *mat.Matrix32, needInputGrad bool) (*mat.Matrix32, error) {
+	if f.lastX == nil {
+		return nil, fmt.Errorf("nn: fused32 backward before forward")
+	}
+	g := grad
+	for l := len(f.units) - 1; l >= 0; l-- {
+		u := &f.units[l]
+		if g.Rows() != f.ys[l].Rows() || g.Cols() != u.out {
+			return nil, fmt.Errorf("nn: fused32 backward unit %d: grad %dx%d, want %dx%d", l, g.Rows(), g.Cols(), f.ys[l].Rows(), u.out)
+		}
+		delta := g
+		if u.act != ActIdentity {
+			dm := ensureMat32(f.delta[l], g.Rows(), g.Cols())
+			f.delta[l] = dm
+			dd, gd, yd := dm.Data(), g.Data(), f.ys[l].Data()
+			switch u.act {
+			case ActReLU:
+				for i, y := range yd {
+					if y <= 0 {
+						dd[i] = 0
+					} else {
+						dd[i] = gd[i]
+					}
+				}
+			case ActTanh:
+				for i, y := range yd {
+					dd[i] = gd[i] * (1 - y*y)
+				}
+			case ActSigmoid:
+				for i, y := range yd {
+					dd[i] = gd[i] * (y * (1 - y))
+				}
+			default:
+				return nil, fmt.Errorf("nn: fused32 backward: unknown activation %v", u.act)
+			}
+			delta = dm
+		}
+		x := f.lastX
+		if l > 0 {
+			x = f.ys[l-1]
+		}
+		dw := ensureMat32(f.dw[l], u.in, u.out)
+		f.dw[l] = dw
+		if err := mat.MulTransATo32(dw, x, delta); err != nil {
+			return nil, fmt.Errorf("nn: fused32 backward unit %d dW: %w", l, err)
+		}
+		if err := u.w.Grad.AddScaled(dw, 1); err != nil {
+			return nil, fmt.Errorf("nn: fused32 backward unit %d accumulate dW: %w", l, err)
+		}
+		f.sums[l] = ensureVec32(f.sums[l], u.out)
+		if err := delta.SumRowsTo(f.sums[l]); err != nil {
+			return nil, fmt.Errorf("nn: fused32 backward unit %d db: %w", l, err)
+		}
+		bias := u.b.Grad.Row(0)
+		for i, v := range f.sums[l] {
+			bias[i] += v
+		}
+		if l == 0 && !needInputGrad {
+			return nil, nil
+		}
+		dx := ensureMat32(f.dxs[l], delta.Rows(), u.in)
+		f.dxs[l] = dx
+		if err := mat.MulTransBTo32(dx, delta, u.w.Value); err != nil {
+			return nil, fmt.Errorf("nn: fused32 backward unit %d dx: %w", l, err)
+		}
+		g = dx
+	}
+	return g, nil
+}

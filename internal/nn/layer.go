@@ -12,6 +12,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"chiron/internal/mat"
@@ -171,7 +172,7 @@ func (a *Activate) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	case ActTanh:
 		err = mat.ApplyTo(y, x, tanh)
 	case ActSigmoid:
-		err = mat.ApplyTo(y, x, sigmoid)
+		err = mat.ApplyTo(y, x, mat.Sigmoid)
 	case ActIdentity:
 		err = y.CopyFrom(x)
 	default:
@@ -223,7 +224,7 @@ func (a *Activate) Params() []Param { return nil }
 
 func tanh(v float64) float64 {
 	// math.Tanh is accurate and fast enough for our layer sizes.
-	return mathTanh(v)
+	return math.Tanh(v)
 }
 
 func relu(v float64) float64 {

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"chiron/internal/mat"
@@ -11,6 +12,11 @@ import (
 type Network struct {
 	layers []Layer
 	params []Param // cached: the layer stack is immutable after construction
+	// fused is the single-pass execution plan used when the stack is a pure
+	// Dense/Activate MLP; nil for stacks (conv, dropout) that run layered.
+	// Fused and layered execution are bit-identical (see fused.go), so
+	// which one runs is invisible to callers.
+	fused *FusedMLP
 }
 
 // NewNetwork builds a network from the given layers in order.
@@ -23,6 +29,7 @@ func NewNetwork(layers ...Layer) *Network {
 	// (to add their own parameters) always reallocate instead of scribbling
 	// over a shared backing array.
 	n.params = n.params[:len(n.params):len(n.params)]
+	n.fused, _ = fuseLayers(layers)
 	return n
 }
 
@@ -58,6 +65,9 @@ func (n *Network) Layers() []Layer {
 // at once (e.g. V(s) and V(s')) must copy the first before computing the
 // second.
 func (n *Network) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if n.fused != nil {
+		return n.fused.Forward(x)
+	}
 	var err error
 	for i, l := range n.layers {
 		if x, err = l.Forward(x); err != nil {
@@ -70,6 +80,9 @@ func (n *Network) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 // Backward propagates the output gradient back through every layer,
 // accumulating parameter gradients, and returns the input gradient.
 func (n *Network) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
+	if n.fused != nil {
+		return n.fused.Backward(grad, true)
+	}
 	var err error
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		if grad, err = n.layers[i].Backward(grad); err != nil {
@@ -78,6 +91,48 @@ func (n *Network) Backward(grad *mat.Matrix) (*mat.Matrix, error) {
 	}
 	return grad, nil
 }
+
+// paramsOnlyBackward is implemented by layers that can skip producing their
+// input gradient — worthwhile only for a network's first layer, where that
+// gradient has no consumer.
+type paramsOnlyBackward interface {
+	BackwardParamsOnly(grad *mat.Matrix) error
+}
+
+// BackwardParamsOnly accumulates parameter gradients like Backward but
+// skips computing the gradient with respect to the network input — dead
+// work for every optimizer-driven training loop. On a fused MLP (or a
+// first layer implementing the skip, like Conv2D) a whole GEMM is saved
+// per pass.
+func (n *Network) BackwardParamsOnly(grad *mat.Matrix) error {
+	if n.fused != nil {
+		_, err := n.fused.Backward(grad, false)
+		return err
+	}
+	var err error
+	for i := len(n.layers) - 1; i >= 1; i-- {
+		if grad, err = n.layers[i].Backward(grad); err != nil {
+			return fmt.Errorf("nn: layer %d backward: %w", i, err)
+		}
+	}
+	if len(n.layers) > 0 {
+		if po, ok := n.layers[0].(paramsOnlyBackward); ok {
+			if err := po.BackwardParamsOnly(grad); err != nil {
+				return fmt.Errorf("nn: layer 0 backward: %w", err)
+			}
+			return nil
+		}
+		if _, err := n.layers[0].Backward(grad); err != nil {
+			return fmt.Errorf("nn: layer 0 backward: %w", err)
+		}
+	}
+	return nil
+}
+
+// Fused exposes the network's fused execution plan, or nil when the layer
+// stack does not fuse. Callers use it to build precision-lowered twins
+// (Fuse32) and in tests that pin fused-vs-layered bit-identity.
+func (n *Network) Fused() *FusedMLP { return n.fused }
 
 // Params returns all trainable parameters in layer order. The slice is
 // cached and shared across calls — callers must not modify its elements
@@ -159,7 +214,7 @@ func (n *Network) ClipGradNorm(maxNorm float64) float64 {
 			sq += g * g
 		}
 	}
-	norm := sqrt(sq)
+	norm := math.Sqrt(sq)
 	if maxNorm > 0 && norm > maxNorm {
 		scale := maxNorm / norm
 		for _, p := range params {

@@ -111,6 +111,12 @@ func (a *Adam) Step() error {
 	a.t++
 	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	// Hoist every field read out of the element loop: the compiler cannot
+	// prove the moment-buffer writes don't alias the receiver, so without
+	// locals it reloads beta/lr/eps on each iteration of the hot loop.
+	b1, b2 := a.beta1, a.beta2
+	c1, c2 := 1-a.beta1, 1-a.beta2
+	lr, eps := a.lr, a.eps
 	for i, p := range a.params {
 		md, vd := a.m[i].Data(), a.v[i].Data()
 		gd, pd := p.Grad.Data(), p.Value.Data()
@@ -118,11 +124,13 @@ func (a *Adam) Step() error {
 			return fmt.Errorf("nn: adam step: param %d grad size %d state size %d", i, len(gd), len(md))
 		}
 		for j, g := range gd {
-			md[j] = a.beta1*md[j] + (1-a.beta1)*g
-			vd[j] = a.beta2*vd[j] + (1-a.beta2)*g*g
-			mhat := md[j] / bc1
-			vhat := vd[j] / bc2
-			pd[j] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+			m := b1*md[j] + c1*g
+			v := b2*vd[j] + c2*g*g
+			md[j] = m
+			vd[j] = v
+			mhat := m / bc1
+			vhat := v / bc2
+			pd[j] -= lr * mhat / (math.Sqrt(vhat) + eps)
 		}
 	}
 	return nil

@@ -221,3 +221,9 @@ func (ConditioningEncoder) Dim() int { return 1 }
 func (e ConditioningEncoder) State(total float64) []float64 {
 	return []float64{total / e.maxTotal}
 }
+
+// EncodeTotal writes the conditioning feature into dst[0] — the
+// allocation-free form of State the batched evaluator stages rows with.
+func (e ConditioningEncoder) EncodeTotal(dst []float64, total float64) {
+	dst[0] = total / e.maxTotal
+}

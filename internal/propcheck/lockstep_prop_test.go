@@ -1,0 +1,215 @@
+package propcheck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/accuracy"
+	"chiron/internal/core"
+	"chiron/internal/device"
+	"chiron/internal/edgeenv"
+	"chiron/internal/faults"
+	"chiron/internal/mat"
+	"chiron/internal/mechanism"
+	"chiron/internal/nn"
+	"chiron/internal/policy"
+)
+
+// lockstepEnv builds one deterministic evaluation environment from a seed
+// tuple. Calling it twice with the same arguments yields bit-identical
+// environments — the property below relies on that to hand the sequential
+// and lockstep evaluators their own copies of the same world.
+func lockstepEnv(t *testing.T, seed int64, nodes, maxRounds int, budget float64, faulted bool) *edgeenv.Env {
+	t.Helper()
+	fleet, err := device.NewFleet(rand.New(rand.NewSource(seed)), device.DefaultFleetSpec(nodes))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	acc, err := accuracy.NewPresetCurve(rand.New(rand.NewSource(seed+1)), accuracy.PresetMNIST, nodes)
+	if err != nil {
+		t.Fatalf("NewPresetCurve: %v", err)
+	}
+	cfg := edgeenv.DefaultConfig(fleet, acc, budget)
+	cfg.MaxRounds = maxRounds
+	if faulted {
+		sampler, err := faults.NewSampler(faults.Rates{Crash: 0.05, Straggle: 0.1, Drop: 0.05}, seed+2)
+		if err != nil {
+			t.Fatalf("NewSampler: %v", err)
+		}
+		cfg.Faults = sampler
+		cfg.FailurePayment = 0.25
+		cfg.RoundDeadline = 300
+	}
+	env, err := edgeenv.New(cfg)
+	if err != nil {
+		t.Fatalf("edgeenv.New: %v", err)
+	}
+	return env
+}
+
+// lockstepAgents builds a fresh agent per environment and, when a donor
+// checkpoint is given, restores it into each — the frozen-checkpoint study
+// setup the lockstep evaluator batches over.
+func lockstepAgents(t *testing.T, envs []*edgeenv.Env, ck *core.Checkpoint, seed int64) []*core.Chiron {
+	t.Helper()
+	agents := make([]*core.Chiron, len(envs))
+	for i, env := range envs {
+		cfg := core.DefaultConfig()
+		cfg.Exterior = smallPPO(cfg.Exterior)
+		cfg.Inner = smallPPO(cfg.Inner)
+		cfg.Seed = seed
+		agent, err := core.New(env, cfg)
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		if ck != nil {
+			if err := agent.Restore(ck); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+		}
+		agents[i] = agent
+	}
+	return agents
+}
+
+// TestLockstepEvaluateBitIdentityProperty pins the batched frozen-policy
+// evaluator to its sequential reference: over 200 randomized trials —
+// varying fleet size, cell count, episode count, budget, horizon, and
+// fault injection — core.EvaluateLockstep must return EpisodeResults
+// bit-identical to mechanism.Evaluate run per agent. This is the float64
+// acceptance property for the batched inference path: batching rows into
+// one GEMM per policy per step may not move any metric by even one ULP.
+func TestLockstepEvaluateBitIdentityProperty(t *testing.T) {
+	t.Parallel()
+	Trials(t, 71, DefaultTrials, func(t *testing.T, rng *rand.Rand, trial int) {
+		seed := int64(trial)
+		nodes := 3 + rng.Intn(2)
+		cells := 2 + rng.Intn(3)
+		episodes := 1 + rng.Intn(2)
+		maxRounds := 5 + rng.Intn(5)
+		budget := Uniform(rng, 40, 160)
+		faulted := rng.Intn(2) == 0
+
+		// Donor agent: fresh random weights are as good as trained ones for
+		// an evaluator-equivalence property, and much cheaper 200 times.
+		donor := lockstepAgents(t, []*edgeenv.Env{lockstepEnv(t, seed, nodes, maxRounds, budget, faulted)}, nil, seed)
+		ck := donor[0].Checkpoint()
+
+		build := func() ([]*edgeenv.Env, []*core.Chiron) {
+			envs := make([]*edgeenv.Env, cells)
+			for i := range envs {
+				// Each cell gets its own perturbed world (different fleet and
+				// budget draws), like an ablation grid row.
+				envs[i] = lockstepEnv(t, seed+int64(i)*10, nodes, maxRounds, budget+float64(i)*5, faulted)
+			}
+			return envs, lockstepAgents(t, envs, ck, seed)
+		}
+
+		_, seqAgents := build()
+		want := make([]mechanism.EpisodeResult, cells)
+		for i, agent := range seqAgents {
+			res, err := mechanism.Evaluate(agent, episodes)
+			if err != nil {
+				t.Fatalf("sequential Evaluate cell %d: %v", i, err)
+			}
+			want[i] = res
+		}
+
+		_, lockAgents := build()
+		got, err := core.EvaluateLockstep(lockAgents, episodes)
+		if err != nil {
+			t.Fatalf("EvaluateLockstep: %v", err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cell %d: lockstep result diverges from sequential\n got %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestLockstepFloat32PolicyToleranceProperty drives random frozen-policy
+// episodes in float64 and, at every decision point, replays both policy
+// forwards through their precision-lowered fused twins (nn.Fuse32) on the
+// exact same states. Every float32 output must stay within
+// mat.Float32Backend's stated tolerance of the float64 reference — the
+// contract DESIGN.md §16 documents for the opt-in low-precision backend.
+// States are harvested from the float64 trajectory, so the property
+// measures per-forward rounding, not trajectory divergence.
+func TestLockstepFloat32PolicyToleranceProperty(t *testing.T) {
+	t.Parallel()
+	backend := mat.Float32Backend
+	Trials(t, 72, DefaultTrials, func(t *testing.T, rng *rand.Rand, trial int) {
+		seed := int64(trial)
+		nodes := 3 + rng.Intn(2)
+		maxRounds := 5 + rng.Intn(5)
+		env := lockstepEnv(t, seed, nodes, maxRounds, Uniform(rng, 40, 160), rng.Intn(2) == 0)
+		agent := lockstepAgents(t, []*edgeenv.Env{env}, nil, seed)[0]
+
+		fusedE, ok := nn.Fuse32(agent.Exterior().Policy().MeanNet())
+		if !ok {
+			t.Fatal("exterior policy does not fuse")
+		}
+		fusedI, ok := nn.Fuse32(agent.Inner().Policy().MeanNet())
+		if !ok {
+			t.Fatal("inner policy does not fuse")
+		}
+		encE, err := policy.NewExteriorEncoder(env)
+		if err != nil {
+			t.Fatalf("NewExteriorEncoder: %v", err)
+		}
+		encI := policy.NewConditioningEncoder(env)
+
+		check := func(name string, fused *nn.FusedMLP32, state []float64, want []float64) {
+			t.Helper()
+			x := mat.New(1, len(state))
+			copy(x.Row(0), state)
+			x32, err := fused.Stage(x)
+			if err != nil {
+				t.Fatalf("%s Stage: %v", name, err)
+			}
+			y32, err := fused.Forward(x32)
+			if err != nil {
+				t.Fatalf("%s Forward: %v", name, err)
+			}
+			for j, w := range want {
+				if got := float64(y32.At(0, j)); !backend.Within(got, w) {
+					t.Fatalf("%s output %d: float32 %v vs float64 %v (diff %v) outside backend tolerance",
+						name, j, got, w, math.Abs(got-w))
+				}
+			}
+		}
+
+		if err := env.Reset(); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		for !env.Done() {
+			stateE := encE.State()
+			meanE, err := agent.Exterior().ActDeterministic(stateE)
+			if err != nil {
+				t.Fatalf("exterior ActDeterministic: %v", err)
+			}
+			check("exterior", fusedE, stateE, meanE)
+
+			prices, err := agent.Decide(false)
+			if err != nil {
+				t.Fatalf("Decide: %v", err)
+			}
+			var total float64
+			for _, p := range prices {
+				total += p
+			}
+			stateI := encI.State(total)
+			meanI, err := agent.Inner().ActDeterministic(stateI)
+			if err != nil {
+				t.Fatalf("inner ActDeterministic: %v", err)
+			}
+			check("inner", fusedI, stateI, meanI)
+
+			if _, err := env.Step(prices); err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+		}
+	})
+}

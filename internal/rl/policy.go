@@ -96,11 +96,17 @@ func (p *GaussianPolicy) MeanBatch(states *mat.Matrix) (*mat.Matrix, error) {
 	return p.net.Forward(states)
 }
 
+// MeanNet exposes the mean network. Callers use it to build precision-
+// lowered twins (nn.Fuse32) for tolerance-validated batched inference; the
+// float64 network remains the training state.
+func (p *GaussianPolicy) MeanNet() *nn.Network { return p.net }
+
 // BackwardMean propagates a gradient with respect to the batch means back
-// through the mean network, accumulating parameter gradients.
+// through the mean network, accumulating parameter gradients. The gradient
+// with respect to the states themselves is never needed, so the input-grad
+// GEMM is skipped.
 func (p *GaussianPolicy) BackwardMean(grad *mat.Matrix) error {
-	_, err := p.net.Backward(grad)
-	return err
+	return p.net.BackwardParamsOnly(grad)
 }
 
 // Std returns the current standard deviation vector.
